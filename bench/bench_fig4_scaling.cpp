@@ -1,0 +1,98 @@
+// Reproduces Figure 4: (a–d) strong scaling of accCD vs SA-accCD on the
+// paper's processor ranges, and (e–h) the speedup breakdown (total /
+// communication / computation) as a function of s.
+//
+// The series are generated from the Table I cost formulas (perf module)
+// instantiated with each dataset's printed shape and priced on the Cray
+// XC30-like machine — exactly the model the paper reasons with.
+//
+// Paper findings to reproduce:
+//   * SA-accCD is faster at every P and the gap WIDENS with P (a–d);
+//   * speedup vs s rises (latency win), peaks, then falls once the s-fold
+//     message-size/flop increase dominates (e–h);
+//   * communication speedup > total speedup > computation ratio.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "perf/scaling.hpp"
+
+namespace {
+
+using sa::perf::BcdParams;
+using sa::perf::ScalingPoint;
+using sa::perf::SpeedupBreakdown;
+
+BcdParams params_for(sa::data::PaperDataset which, int p) {
+  const sa::data::PaperShape shape = sa::data::paper_shape(which);
+  BcdParams params;
+  params.iterations = 1000;
+  params.block_size = 1;  // Figure 4 runs accCD (µ = 1)
+  params.density = shape.nnz_percent / 100.0;
+  params.rows = shape.points;
+  params.cols = shape.features;
+  params.processors = p;
+  return params;
+}
+
+void strong_scaling(sa::data::PaperDataset which,
+                    const std::vector<int>& processors) {
+  const sa::data::PaperShape shape = sa::data::paper_shape(which);
+  const std::vector<std::size_t> s_candidates{1,  2,  4,  8,   16,  32,
+                                              64, 128, 256, 512, 1024};
+  const auto series = sa::perf::bcd_strong_scaling(
+      params_for(which, processors.front()), processors, s_candidates,
+      sa::dist::MachineParams::cray_xc30());
+
+  std::printf("\n--- Fig 4(a-d): %s strong scaling (accCD vs CA-accCD) ---\n",
+              shape.name.c_str());
+  std::printf("%10s %14s %14s %10s %8s\n", "P", "accCD [s]", "CA-accCD [s]",
+              "speedup", "best s");
+  for (const ScalingPoint& pt : series) {
+    std::printf("%10d %14.4f %14.4f %9.2fx %8zu\n", pt.processors,
+                pt.seconds_non_sa, pt.seconds_sa,
+                pt.seconds_non_sa / pt.seconds_sa, pt.best_s);
+  }
+}
+
+void speedup_breakdown(sa::data::PaperDataset which, int p,
+                       const std::vector<std::size_t>& s_values) {
+  const sa::data::PaperShape shape = sa::data::paper_shape(which);
+  const auto sweep =
+      sa::perf::bcd_speedup_sweep(params_for(which, p), s_values,
+                                  sa::dist::MachineParams::cray_xc30());
+  std::printf("\n--- Fig 4(e-h): %s speedup breakdown @ P=%d ---\n",
+              shape.name.c_str(), p);
+  std::printf("%8s %10s %16s %14s\n", "s", "total", "communication",
+              "computation");
+  for (const SpeedupBreakdown& b : sweep) {
+    std::printf("%8zu %9.2fx %15.2fx %13.2fx\n", b.s, b.total,
+                b.communication, b.computation);
+  }
+}
+
+}  // namespace
+
+int main() {
+  sa::bench::print_header(
+      "Figure 4 — strong scaling and speedup breakdown (accCD vs CA-accCD)",
+      "Table I cost model at the paper's dataset shapes, priced on a Cray "
+      "XC30-like machine.\nExpected shape: SA faster everywhere, gap widens "
+      "with P; speedup vs s rises then falls.");
+
+  strong_scaling(sa::data::PaperDataset::kNews20, {192, 384, 768});
+  strong_scaling(sa::data::PaperDataset::kCovtype, {768, 1536, 3072});
+  strong_scaling(sa::data::PaperDataset::kUrl, {3072, 6144, 12288});
+  strong_scaling(sa::data::PaperDataset::kEpsilon, {3072, 6144, 12288});
+
+  speedup_breakdown(sa::data::PaperDataset::kNews20, 768,
+                    {2, 4, 8, 16, 32, 64, 128});
+  speedup_breakdown(sa::data::PaperDataset::kCovtype, 3072,
+                    {2, 4, 8, 16, 32, 64});
+  speedup_breakdown(sa::data::PaperDataset::kUrl, 12288,
+                    {2, 4, 8, 16, 32, 64, 128, 256, 512});
+  speedup_breakdown(sa::data::PaperDataset::kEpsilon, 12288,
+                    {2, 4, 8, 16, 32, 64, 128, 256});
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Figure 5: duality gap vs iterations for SVM-L1, SVM-L2 and
+// their SA variants with s = 500, on the w1a, leu, and duke twins (λ = 1,
+// as in the paper).
+//
+// Paper findings to reproduce:
+//   * SA curves coincide with non-SA (numerical stability at s = 500);
+//   * SVM-L2 converges faster than SVM-L1 (smoothed loss).
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/sa_svm.hpp"
+#include "core/svm.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using sa::core::SaSvmOptions;
+using sa::core::SvmLoss;
+using sa::core::SvmOptions;
+using sa::core::SvmResult;
+
+using GapSeries = std::vector<std::pair<std::size_t, double>>;
+
+GapSeries gap_series(const sa::data::Dataset& d, SvmLoss loss, std::size_t s,
+                     std::size_t h, std::size_t trace_every) {
+  SvmOptions base;
+  base.lambda = 1.0;  // paper setting
+  base.loss = loss;
+  base.max_iterations = h;
+  base.trace_every = trace_every;
+  base.seed = 11;
+  const SvmResult r = [&] {
+    if (s == 0) return sa::core::solve_svm_serial(d, base);
+    SaSvmOptions sa_opt;
+    sa_opt.base = base;
+    sa_opt.s = s;
+    return sa::core::solve_sa_svm_serial(d, sa_opt);
+  }();
+  GapSeries out;
+  for (const auto& p : r.trace.points)
+    out.emplace_back(p.iteration, p.objective);
+  return out;
+}
+
+double value_at(const GapSeries& series, std::size_t iteration,
+                bool* found) {
+  for (const auto& [it, gap] : series) {
+    if (it == iteration) {
+      *found = true;
+      return gap;
+    }
+  }
+  *found = false;
+  return 0.0;
+}
+
+void run_dataset(sa::data::PaperDataset which, double shrink, std::size_t h,
+                 std::size_t trace_every) {
+  const sa::data::Dataset d = sa::data::make_paper_twin(
+      which, shrink, 42, /*force_classification=*/true);
+  std::printf("\n--- %s twin: %zu points x %zu features ---\n",
+              d.name.c_str(), d.num_points(), d.num_features());
+
+  const std::vector<std::pair<std::string, GapSeries>> series = {
+      {"SVM-L1", gap_series(d, SvmLoss::kL1, 0, h, trace_every)},
+      {"CA-SVM-L1 s=500", gap_series(d, SvmLoss::kL1, 500, h, trace_every)},
+      {"SVM-L2", gap_series(d, SvmLoss::kL2, 0, h, trace_every)},
+      {"CA-SVM-L2 s=500", gap_series(d, SvmLoss::kL2, 500, h, trace_every)},
+  };
+
+  std::printf("%12s", "iteration");
+  for (const auto& [label, values] : series)
+    std::printf("  %18s", label.c_str());
+  std::printf("\n");
+  for (std::size_t it = 0; it <= h; it += trace_every) {
+    std::printf("%12zu", it);
+    for (const auto& [label, values] : series) {
+      bool found = false;
+      const double gap = value_at(values, it, &found);
+      if (found)
+        std::printf("  %18.6e", gap);
+      else
+        std::printf("  %18s", "-");
+    }
+    std::printf("\n");
+  }
+
+  // Agreement normalized by the initial gap (converged gaps sit at ~1e-16
+  // of it, where raw relative error is meaningless).
+  const double gap0 = series[0].second.front().second;
+  for (std::size_t k = 0; k + 1 < series.size(); k += 2) {
+    double worst = 0.0;
+    for (const auto& [it, got] : series[k + 1].second) {
+      bool found = false;
+      const double ref = value_at(series[k].second, it, &found);
+      if (!found) continue;
+      worst = std::max(worst, std::abs(ref - got) / gap0);
+    }
+    std::printf("max |gap_SA - gap_nonSA| / gap(0)  %-10s vs %-16s : "
+                "%.3e\n",
+                series[k].first.c_str(), series[k + 1].first.c_str(), worst);
+  }
+}
+
+}  // namespace
+
+int main() {
+  sa::bench::print_header(
+      "Figure 5 — SVM duality gap vs iterations (lambda = 1, s = 500)",
+      "Duality gap P(x) - D(alpha) for SVM-L1/L2 and SA twins.\nExpected "
+      "shape: SA coincides with non-SA; L2 converges faster than L1.");
+
+  run_dataset(sa::data::PaperDataset::kW1a, 4.0, 4000, 500);
+  run_dataset(sa::data::PaperDataset::kLeu, 2.0, 2000, 500);
+  run_dataset(sa::data::PaperDataset::kDuke, 2.0, 2000, 500);
+  return 0;
+}

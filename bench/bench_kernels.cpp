@@ -1,0 +1,134 @@
+// Kernel microbenchmarks (google-benchmark).
+//
+// These quantify the two hardware effects the paper leans on:
+//   * the BLAS-3 effect: one s-column Gram (matrix-matrix) is more
+//     cache-efficient than s separate dot products (BLAS-1) — the source
+//     of the paper's "computation speedups" in Figure 4 (e–h);
+//   * collective cost growth with rank count and payload.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/prox.hpp"
+#include "data/rng.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "la/csc.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/vector_batch.hpp"
+#include "la/vector_ops.hpp"
+
+namespace {
+
+sa::la::DenseMatrix random_dense(std::size_t rows, std::size_t cols,
+                                 std::uint64_t seed) {
+  sa::data::SplitMix64 rng(seed);
+  sa::la::DenseMatrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng.next_normal();
+  return a;
+}
+
+/// BLAS-1 path: s separate dot products of length-m vectors.
+void BM_SeparateDots(benchmark::State& state) {
+  const std::size_t s = state.range(0);
+  const std::size_t m = 4096;
+  const sa::la::DenseMatrix a = random_dense(s, m, 1);
+  std::vector<double> x(m, 1.0);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < s; ++i) acc += sa::la::dot(a.row(i), x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * s * m);
+}
+BENCHMARK(BM_SeparateDots)->Arg(8)->Arg(32)->Arg(128);
+
+/// BLAS-3 path: the s×s Gram of the same vectors in one call.
+void BM_BatchedGram(benchmark::State& state) {
+  const std::size_t s = state.range(0);
+  const std::size_t m = 4096;
+  const sa::la::VectorBatch batch =
+      sa::la::VectorBatch::dense(random_dense(s, m, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.gram());
+  }
+  state.SetItemsProcessed(state.iterations() * s * (s + 1) / 2 * m);
+}
+BENCHMARK(BM_BatchedGram)->Arg(8)->Arg(32)->Arg(128);
+
+/// Sparse SpMV throughput at news20-like density.
+void BM_CsrSpmv(benchmark::State& state) {
+  sa::data::RegressionConfig cfg;
+  cfg.num_points = state.range(0);
+  cfg.num_features = 2048;
+  cfg.density = 0.002;
+  cfg.support_size = 16;
+  const sa::data::Dataset d = sa::data::make_regression(cfg).dataset;
+  std::vector<double> x(d.num_features(), 1.0);
+  std::vector<double> y(d.num_points());
+  for (auto _ : state) {
+    d.a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.nnz());
+}
+BENCHMARK(BM_CsrSpmv)->Arg(1024)->Arg(8192);
+
+/// Gram of sampled sparse columns (the per-iteration SA kernel).
+void BM_SparseColumnGram(benchmark::State& state) {
+  const std::size_t k = state.range(0);
+  sa::data::RegressionConfig cfg;
+  cfg.num_points = 4096;
+  cfg.num_features = 4096;
+  cfg.density = 0.01;
+  cfg.support_size = 16;
+  const sa::data::Dataset d = sa::data::make_regression(cfg).dataset;
+  const sa::la::CscMatrix csc(d.a);
+  std::vector<sa::la::SparseVector> cols;
+  for (std::size_t j = 0; j < k; ++j)
+    cols.push_back(csc.gather_column((j * 37) % d.num_features()));
+  const sa::la::VectorBatch batch =
+      sa::la::VectorBatch::sparse(std::move(cols), d.num_points());
+  for (auto _ : state) benchmark::DoNotOptimize(batch.gram());
+}
+BENCHMARK(BM_SparseColumnGram)->Arg(8)->Arg(64)->Arg(256);
+
+/// Thread-team allreduce cost vs rank count and payload.
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t words = state.range(1);
+  for (auto _ : state) {
+    sa::dist::ThreadTeam team(ranks);
+    team.run([&](sa::dist::ThreadComm& comm) {
+      std::vector<double> data(words, 1.0);
+      for (int round = 0; round < 8; ++round) comm.allreduce_sum(data);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * words);
+}
+BENCHMARK(BM_Allreduce)
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({8, 64})
+    ->Args({4, 4096});
+
+/// Soft-threshold throughput (the prox inner loop).
+void BM_SoftThreshold(benchmark::State& state) {
+  std::vector<double> x(state.range(0));
+  sa::data::SplitMix64 rng(3);
+  for (double& v : x) v = rng.next_normal();
+  std::vector<double> work = x;
+  for (auto _ : state) {
+    work = x;
+    sa::core::soft_threshold(work, 0.5);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_SoftThreshold)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

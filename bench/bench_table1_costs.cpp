@@ -1,0 +1,65 @@
+// Reproduces Table I: leading-order operational (F), memory (M), latency
+// (L) and message-size (W) costs of accBCD vs SA-accBCD, instantiated on a
+// representative problem and swept over s to exhibit the advertised
+// scalings:  L_SA = L/s,  W_SA = s·W,  F_SA ≈ s·F_gram + F_sub.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "perf/costs.hpp"
+
+int main() {
+  sa::bench::print_header(
+      "Table I — theoretical costs along the critical path",
+      "F (flops), M (words/processor), L (messages), W (words moved) for "
+      "accBCD vs SA-accBCD.");
+
+  sa::perf::BcdParams p;
+  p.iterations = 1000;   // H
+  p.block_size = 8;      // µ
+  p.density = 0.01;      // f
+  p.rows = 1 << 20;      // m
+  p.cols = 1 << 15;      // n
+  p.processors = 1024;   // P
+
+  std::printf("problem: H=%zu, mu=%zu, f=%.3g, m=%zu, n=%zu, P=%d\n\n",
+              p.iterations, p.block_size, p.density, p.rows, p.cols,
+              p.processors);
+
+  const sa::perf::Costs ref = sa::perf::accbcd_costs(p);
+  std::printf("%-14s %14s %14s %14s %14s\n", "algorithm", "F", "M", "L",
+              "W");
+  std::printf("%-14s %14.4g %14.4g %14.4g %14.4g\n", "accBCD", ref.flops,
+              ref.memory, ref.latency, ref.bandwidth);
+
+  for (std::size_t s : {2, 4, 8, 16, 32, 64, 128}) {
+    sa::perf::BcdParams q = p;
+    q.s = s;
+    const sa::perf::Costs sa = sa::perf::sa_accbcd_costs(q);
+    std::printf("SA-accBCD s=%-3zu %13.4g %14.4g %14.4g %14.4g"
+                "   (L/s ratio %.1f, W ratio %.1f)\n",
+                s, sa.flops, sa.memory, sa.latency, sa.bandwidth,
+                ref.latency / sa.latency, sa.bandwidth / ref.bandwidth);
+  }
+
+  std::printf("\nSVM analogue (Algorithm 3 vs 4):\n");
+  sa::perf::SvmParams sp;
+  sp.iterations = 10000;
+  sp.density = 0.05;
+  sp.rows = 100000;
+  sp.cols = 20000;
+  sp.processors = 512;
+  const sa::perf::Costs svm_ref = sa::perf::svm_costs(sp);
+  std::printf("%-14s %14.4g %14.4g %14.4g %14.4g\n", "SVM", svm_ref.flops,
+              svm_ref.memory, svm_ref.latency, svm_ref.bandwidth);
+  for (std::size_t s : {16, 64, 256}) {
+    sa::perf::SvmParams q = sp;
+    q.s = s;
+    const sa::perf::Costs sa = sa::perf::sa_svm_costs(q);
+    std::printf("SA-SVM s=%-5zu %14.4g %14.4g %14.4g %14.4g\n", s, sa.flops,
+                sa.memory, sa.latency, sa.bandwidth);
+  }
+  std::printf("\nExpected scalings hold: latency / s, bandwidth x s, "
+              "Gram flops x s, memory + (s*mu)^2 buffer.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Distributed execution and the latency/bandwidth tradeoff, end to end.
+//
+//   $ ./distributed_solve
+//
+// Runs the same Lasso problem on 1, 2, 4, and 8 ranks of the thread-team
+// runtime, confirms every rank count produces the same solution, then
+// sweeps s on a fixed rank count and prices the metered counters on three
+// machine models — showing where synchronization avoidance pays off.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "core/cd_lasso.hpp"
+#include "core/sa_lasso.hpp"
+#include "data/synthetic.hpp"
+#include "dist/cost_model.hpp"
+#include "dist/thread_comm.hpp"
+#include "la/vector_ops.hpp"
+
+int main() {
+  sa::data::RegressionConfig config;
+  config.num_points = 512;
+  config.num_features = 128;
+  config.density = 0.1;
+  config.support_size = 8;
+  const sa::data::Dataset dataset = sa::data::make_regression(config).dataset;
+
+  sa::core::LassoOptions options;
+  options.lambda = 0.05;
+  options.block_size = 4;
+  options.accelerated = true;
+  options.max_iterations = 256;
+
+  // 1. Rank-count invariance.
+  std::printf("solution agreement vs serial, by rank count:\n");
+  const sa::core::LassoResult serial =
+      sa::core::solve_lasso_serial(dataset, options);
+  for (int ranks : {1, 2, 4, 8}) {
+    const auto rows =
+        sa::data::Partition::block(dataset.num_points(), ranks);
+    std::vector<double> x;
+    std::mutex lock;
+    sa::dist::run_distributed(ranks, [&](sa::dist::Communicator& comm) {
+      const auto result = sa::core::solve_lasso(comm, dataset, rows, options);
+      if (comm.rank() == 0) {
+        std::scoped_lock guard(lock);
+        x = result.x;
+      }
+    });
+    std::printf("  P=%d: max relative difference %.2e\n", ranks,
+                sa::la::max_rel_diff(serial.x, x));
+  }
+
+  // 2. The s sweep: metered counters priced on three machines.
+  const int ranks = 4;
+  const auto rows = sa::data::Partition::block(dataset.num_points(), ranks);
+  std::printf("\nmetered cost of the full solve on P=%d, priced per machine "
+              "(seconds):\n", ranks);
+  std::printf("%8s %12s %12s %14s %14s %14s\n", "s", "messages", "words",
+              "shared-mem", "cray-xc30", "ethernet");
+  for (std::size_t s : {0, 2, 8, 32, 128}) {
+    sa::dist::CommStats stats;
+    std::mutex lock;
+    sa::dist::run_distributed(ranks, [&](sa::dist::Communicator& comm) {
+      if (s == 0) {
+        sa::core::solve_lasso(comm, dataset, rows, options);
+      } else {
+        sa::core::SaLassoOptions sa_options;
+        sa_options.base = options;
+        sa_options.s = s;
+        sa::core::solve_sa_lasso(comm, dataset, rows, sa_options);
+      }
+      if (comm.rank() == 0) {
+        std::scoped_lock guard(lock);
+        stats = comm.stats();
+      }
+    });
+    std::printf("%8zu %12zu %12zu %14.6f %14.6f %14.6f\n", s, stats.messages,
+                stats.words,
+                price(stats, sa::dist::MachineParams::shared_memory())
+                    .total_seconds(),
+                price(stats, sa::dist::MachineParams::cray_xc30())
+                    .total_seconds(),
+                price(stats, sa::dist::MachineParams::ethernet_cluster())
+                    .total_seconds());
+  }
+  std::printf("\n(read across a row: the same run is a wash on shared "
+              "memory but a clear win on high-latency networks — the "
+              "paper's Section VII observation)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Lightweight runtime-check helpers shared by every sa-opt module.
+//
+// The library follows the C++ Core Guidelines convention of reporting
+// precondition violations with exceptions carrying enough context to
+// diagnose the failing call site.  SA_CHECK is used for conditions that
+// depend on user input (always on); SA_ASSERT is for internal invariants
+// and compiles away in release builds with NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sa {
+
+/// Exception type thrown on precondition violations across the library.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "sa-opt precondition failed: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sa
+
+/// Verify a user-facing precondition; throws sa::PreconditionError on failure.
+#define SA_CHECK(expr, msg)                                            \
+  do {                                                                 \
+    if (!(expr)) ::sa::detail::fail_check(#expr, __FILE__, __LINE__,   \
+                                          (msg));                      \
+  } while (0)
+
+/// Internal invariant check; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define SA_ASSERT(expr, msg) ((void)0)
+#else
+#define SA_ASSERT(expr, msg) SA_CHECK(expr, msg)
+#endif

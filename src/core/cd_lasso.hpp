@@ -1,0 +1,51 @@
+// Distributed (block) coordinate descent for proximal least-squares —
+// the paper's Algorithm 1 family.
+//
+//   solve_lasso(...)  with options.accelerated == false  reproduces
+//     CD (µ = 1) and BCD (µ > 1): at every iteration the solver samples µ
+//     coordinates, forms the µ×µ Gram matrix and the block gradient with
+//     ONE allreduce, takes a proximal step with step size 1/λ_max(G), and
+//     updates the replicated solution and the partitioned residual.
+//
+//   solve_lasso(...)  with options.accelerated == true   reproduces
+//     accCD/accBCD — the accelerated BCD of Fercoq–Richtárik as stated in
+//     the paper's Algorithm 1, maintaining (y, z, ỹ, z̃, θ) with
+//     x_h = θ_h²·y_h + z_h implicitly.
+//
+// Call the function on every rank of a communicator with identical
+// dataset/partition/options; ranks cooperate through the communicator.
+// With SerialComm this is a plain shared-memory solver.
+#pragma once
+
+#include <vector>
+
+#include "core/local_data.hpp"
+#include "core/solver_options.hpp"
+#include "core/trace.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "dist/comm.hpp"
+
+namespace sa::core {
+
+/// Result of a Lasso-family solve (identical on every rank).
+struct LassoResult {
+  std::vector<double> x;  ///< final solution (replicated, length n)
+  Trace trace;            ///< this rank's instrumented history
+};
+
+/// Runs Algorithm 1 (or its non-accelerated specialization) on this rank.
+///
+/// `rows` is the 1D-row partition of the dataset; `comm.rank()` selects
+/// this rank's block.  The sampler seed in `options` must be identical on
+/// all ranks (the paper's communication-free sampling).
+LassoResult solve_lasso(dist::Communicator& comm,
+                        const data::Dataset& dataset,
+                        const data::Partition& rows,
+                        const LassoOptions& options);
+
+/// Convenience serial entry point (P = 1).
+LassoResult solve_lasso_serial(const data::Dataset& dataset,
+                               const LassoOptions& options);
+
+}  // namespace sa::core

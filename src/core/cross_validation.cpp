@@ -1,0 +1,129 @@
+#include "core/cross_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "data/rng.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+
+namespace {
+
+/// Builds a dataset from a list of row indices of `source`.
+data::Dataset gather_rows(const data::Dataset& source,
+                          const std::vector<std::size_t>& rows,
+                          const std::string& name) {
+  std::vector<la::Triplet> triplets;
+  std::vector<double> labels;
+  labels.reserve(rows.size());
+  for (std::size_t out_row = 0; out_row < rows.size(); ++out_row) {
+    const std::size_t i = rows[out_row];
+    const auto idx = source.a.row_indices(i);
+    const auto val = source.a.row_values(i);
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      triplets.push_back({out_row, idx[k], val[k]});
+    labels.push_back(source.b[i]);
+  }
+  data::Dataset out;
+  out.name = name;
+  out.a = la::CsrMatrix::from_triplets(rows.size(), source.num_features(),
+                                       std::move(triplets));
+  out.b = std::move(labels);
+  return out;
+}
+
+}  // namespace
+
+std::pair<data::Dataset, data::Dataset> split_fold(
+    const data::Dataset& dataset, std::size_t fold, std::size_t num_folds,
+    std::uint64_t shuffle_seed) {
+  SA_CHECK(num_folds >= 2, "split_fold: need at least 2 folds");
+  SA_CHECK(fold < num_folds, "split_fold: fold index out of range");
+  const std::size_t m = dataset.num_points();
+  SA_CHECK(m >= num_folds, "split_fold: fewer points than folds");
+
+  // Seeded Fisher–Yates permutation of the row order.
+  std::vector<std::size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), 0);
+  data::SplitMix64 rng(shuffle_seed);
+  for (std::size_t i = m; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+
+  const std::size_t begin = fold * m / num_folds;
+  const std::size_t end = (fold + 1) * m / num_folds;
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i >= begin && i < end)
+      test_rows.push_back(perm[i]);
+    else
+      train_rows.push_back(perm[i]);
+  }
+  return {gather_rows(dataset, train_rows, dataset.name + "-train"),
+          gather_rows(dataset, test_rows, dataset.name + "-test")};
+}
+
+double mean_squared_error(const data::Dataset& dataset,
+                          std::span<const double> x) {
+  SA_CHECK(x.size() == dataset.num_features(),
+           "mean_squared_error: dimension mismatch");
+  if (dataset.num_points() == 0) return 0.0;
+  std::vector<double> pred(dataset.num_points());
+  dataset.a.spmv(x, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = pred[i] - dataset.b[i];
+    acc += r * r;
+  }
+  return acc / static_cast<double>(dataset.num_points());
+}
+
+CvResult cross_validate_lasso(const data::Dataset& dataset,
+                              const CvOptions& options) {
+  // Fix one λ grid for all folds so scores are comparable.
+  PathOptions path_opts = options.path;
+  if (path_opts.lambdas.empty()) {
+    path_opts.lambdas = default_lambda_grid(
+        dataset, path_opts.num_lambdas, path_opts.lambda_min_ratio);
+  }
+  const std::size_t num_lambdas = path_opts.lambdas.size();
+
+  std::vector<std::vector<double>> fold_mse(
+      num_lambdas, std::vector<double>(options.num_folds, 0.0));
+  for (std::size_t fold = 0; fold < options.num_folds; ++fold) {
+    const auto [train, test] =
+        split_fold(dataset, fold, options.num_folds, options.shuffle_seed);
+    const std::vector<PathPoint> path = lasso_path(train, path_opts);
+    for (std::size_t i = 0; i < num_lambdas; ++i)
+      fold_mse[i][fold] = mean_squared_error(test, path[i].x);
+  }
+
+  CvResult result;
+  result.points.reserve(num_lambdas);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < num_lambdas; ++i) {
+    CvPoint point;
+    point.lambda = path_opts.lambdas[i];
+    point.mean_mse = la::sum(fold_mse[i]) /
+                     static_cast<double>(options.num_folds);
+    double var = 0.0;
+    for (double v : fold_mse[i]) {
+      const double d = v - point.mean_mse;
+      var += d * d;
+    }
+    point.std_mse = std::sqrt(var / static_cast<double>(options.num_folds));
+    if (point.mean_mse < best) {
+      best = point.mean_mse;
+      result.best_lambda = point.lambda;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace sa::core

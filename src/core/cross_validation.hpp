@@ -1,0 +1,53 @@
+// K-fold cross-validation for Lasso λ selection.
+//
+// Splits the data points into k contiguous folds, fits a warm-started path
+// on each training split, and scores held-out mean squared error — the
+// standard model-selection loop around the paper's solvers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/path.hpp"
+#include "data/dataset.hpp"
+
+namespace sa::core {
+
+/// Cross-validated score of one λ.
+struct CvPoint {
+  double lambda = 0.0;
+  double mean_mse = 0.0;   ///< held-out MSE averaged over folds
+  double std_mse = 0.0;    ///< standard deviation across folds
+};
+
+/// Result of a cross-validation sweep.
+struct CvResult {
+  std::vector<CvPoint> points;  ///< one per λ, same order as the grid
+  double best_lambda = 0.0;     ///< λ with the lowest mean MSE
+};
+
+/// Options for cross_validate_lasso.
+struct CvOptions {
+  PathOptions path;        ///< path settings used per fold
+  std::size_t num_folds = 5;
+  std::uint64_t shuffle_seed = 42;  ///< permutes points before folding
+};
+
+/// Runs k-fold CV and returns per-λ held-out error plus the winning λ.
+CvResult cross_validate_lasso(const data::Dataset& dataset,
+                              const CvOptions& options);
+
+/// Splits `dataset` into (train, test) leaving out fold `fold` of
+/// `num_folds` after a seeded shuffle of the row order.  Exposed for
+/// testing and custom model-selection loops.
+std::pair<data::Dataset, data::Dataset> split_fold(
+    const data::Dataset& dataset, std::size_t fold, std::size_t num_folds,
+    std::uint64_t shuffle_seed);
+
+/// Mean squared prediction error  ||A·x − b||² / m.
+double mean_squared_error(const data::Dataset& dataset,
+                          std::span<const double> x);
+
+}  // namespace sa::core

@@ -1,0 +1,72 @@
+// Internal helpers shared by the Lasso/SVM solver families.
+// Not part of the public API.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "core/solver_options.hpp"
+#include "la/dense.hpp"
+
+namespace sa::core::detail {
+
+/// Flop estimate for one largest-eigenvalue computation on a k×k Gram
+/// matrix (power iteration, ~16 sweeps of 2k² flops — deterministic
+/// metering constant, not a measurement).
+inline std::size_t eig_flops(std::size_t k) { return 32 * k * k; }
+
+/// Serialized size of the upper triangle of a k×k symmetric matrix.
+inline std::size_t triangle_size(std::size_t k) { return k * (k + 1) / 2; }
+
+/// Packs the upper triangle of symmetric `g` into `out` (row-major upper).
+inline void pack_upper(const la::DenseMatrix& g, std::span<double> out) {
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < g.rows(); ++i)
+    for (std::size_t j = i; j < g.cols(); ++j) out[p++] = g(i, j);
+}
+
+/// Unpacks a packed upper triangle into a full symmetric k×k matrix.
+inline la::DenseMatrix unpack_upper(std::span<const double> buf,
+                                    std::size_t k) {
+  la::DenseMatrix g(k, k);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      g(i, j) = buf[p];
+      g(j, i) = buf[p];
+      ++p;
+    }
+  }
+  return g;
+}
+
+/// θ_h from θ_{h-1} (paper Algorithm 1 line 18 / Algorithm 2 line 9):
+/// θ_h = (√(θ⁴ + 4θ²) − θ²) / 2.
+inline double theta_next(double theta) {
+  const double t2 = theta * theta;
+  return 0.5 * (std::sqrt(t2 * t2 + 4.0 * t2) - t2);
+}
+
+/// Acceleration coefficient  (1 − q·θ)/θ²  from lines 16–17 of Algorithm 1.
+inline double acceleration_coefficient(double theta, double q) {
+  return (1.0 - q * theta) / (theta * theta);
+}
+
+/// Elementwise proximal step for the supported penalties:
+/// returns  prox_{eta·g}(v)  for the configured regularizer.
+struct ProxSpec {
+  Penalty penalty = Penalty::kLasso;
+  double lambda = 0.0;
+  double l1_weight = 1.0;
+  double l2_weight = 0.0;
+
+  static ProxSpec from_options(const LassoOptions& options) {
+    return ProxSpec{options.penalty, options.lambda, options.elastic_net_l1,
+                    options.elastic_net_l2};
+  }
+
+  double apply(double v, double eta) const;
+};
+
+}  // namespace sa::core::detail

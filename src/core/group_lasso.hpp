@@ -1,0 +1,39 @@
+// Distributed block coordinate descent for Group Lasso.
+//
+// The paper lists Group Lasso  g(x) = λ·Σ_g ||x̃_g||₂  among the proximal
+// regularizers its framework covers.  Unlike Lasso/Elastic-Net the prox is
+// not coordinate-separable: the sampled block must coincide with a group.
+// This solver therefore iterates over the *groups* (uniformly at random,
+// seed-replicated) and applies the block soft-threshold prox jointly,
+// using the same one-allreduce-per-iteration pattern as solve_lasso.
+#pragma once
+
+#include <vector>
+
+#include "core/cd_lasso.hpp"
+#include "core/prox.hpp"
+#include "core/solver_options.hpp"
+
+namespace sa::core {
+
+/// Options for the Group Lasso solver.
+struct GroupLassoOptions {
+  double lambda = 0.1;
+  GroupStructure groups;          ///< disjoint feature groups (required)
+  std::size_t max_iterations = 1000;  ///< group updates (iterations)
+  std::uint64_t seed = 42;
+  std::size_t trace_every = 0;
+};
+
+/// Runs randomized group BCD on this rank (same conventions as
+/// solve_lasso: 1D-row partition, replicated solution).
+LassoResult solve_group_lasso(dist::Communicator& comm,
+                              const data::Dataset& dataset,
+                              const data::Partition& rows,
+                              const GroupLassoOptions& options);
+
+/// Convenience serial entry point (P = 1).
+LassoResult solve_group_lasso_serial(const data::Dataset& dataset,
+                                     const GroupLassoOptions& options);
+
+}  // namespace sa::core

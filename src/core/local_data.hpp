@@ -1,0 +1,74 @@
+// Per-rank views of a partitioned dataset.
+//
+// RowBlock is the Lasso layout (Figure 1 of the paper): A is 1D-row
+// partitioned, ℝ^m vectors (residuals) are partitioned alike, ℝ^n vectors
+// (solutions) are replicated.  Solvers sample *columns*, so each block
+// keeps a CSC mirror for O(nnz(column)) gathers.
+//
+// ColBlock is the SVM layout (paper §V): A is 1D-column partitioned, the
+// primal iterate x ∈ ℝ^n is partitioned, the dual iterate α ∈ ℝ^m and the
+// labels are replicated.  Solvers sample *rows*, which CSR gathers
+// directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "la/csc.hpp"
+#include "la/csr.hpp"
+#include "la/vector_batch.hpp"
+
+namespace sa::core {
+
+/// Density above which sampled vectors are batched densely (BLAS-3 path).
+inline constexpr double kDenseBatchThreshold = 0.25;
+
+/// The row block of one rank under 1D-row partitioning.
+class RowBlock {
+ public:
+  /// Extracts rank `rank`'s block of `dataset` under `rows`.
+  RowBlock(const data::Dataset& dataset, const data::Partition& rows,
+           int rank);
+
+  std::size_t local_rows() const { return a_.rows(); }
+  std::size_t num_features() const { return a_.cols(); }
+  const la::CsrMatrix& matrix() const { return a_; }
+  const std::vector<double>& labels() const { return b_; }
+
+  /// Gathers the given global columns (restricted to local rows) into a
+  /// VectorBatch of dim local_rows().  Storage (dense vs sparse) follows
+  /// the matrix density.
+  la::VectorBatch gather_columns(const std::vector<std::size_t>& cols) const;
+
+ private:
+  la::CsrMatrix a_;   // m_loc × n
+  la::CscMatrix csc_; // column mirror of a_
+  std::vector<double> b_;
+  bool dense_batches_ = false;
+};
+
+/// The column block of one rank under 1D-column partitioning.
+class ColBlock {
+ public:
+  ColBlock(const data::Dataset& dataset, const data::Partition& cols,
+           int rank);
+
+  std::size_t num_points() const { return a_.rows(); }
+  std::size_t local_cols() const { return a_.cols(); }
+  const la::CsrMatrix& matrix() const { return a_; }
+  /// Labels are replicated on every rank.
+  const std::vector<double>& labels() const { return b_; }
+
+  /// Gathers the given global rows (restricted to local columns) into a
+  /// VectorBatch of dim local_cols().
+  la::VectorBatch gather_rows(const std::vector<std::size_t>& rows) const;
+
+ private:
+  la::CsrMatrix a_;  // m × n_loc
+  std::vector<double> b_;
+  bool dense_batches_ = false;
+};
+
+}  // namespace sa::core

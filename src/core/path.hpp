@@ -1,0 +1,55 @@
+// Warm-started Lasso regularization paths.
+//
+// Computes solutions along a decreasing λ grid, warm-starting each solve
+// from the previous solution — the standard way practitioners use Lasso
+// (scikit-learn's lasso_path, glmnet).  Built entirely on the public
+// solver API, so paths run serially or distributed and with either the
+// classical or the synchronization-avoiding solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cd_lasso.hpp"
+#include "core/sa_lasso.hpp"
+#include "core/solver_options.hpp"
+#include "data/dataset.hpp"
+
+namespace sa::core {
+
+/// One point of a regularization path.
+struct PathPoint {
+  double lambda = 0.0;
+  std::vector<double> x;
+  double objective = 0.0;
+  std::size_t nonzeros = 0;      ///< support size of x
+  std::size_t iterations = 0;    ///< iterations spent at this λ
+};
+
+/// Options for a path computation.
+struct PathOptions {
+  LassoOptions solver;            ///< per-λ solver settings (λ is overridden)
+  std::size_t num_lambdas = 20;   ///< grid size when `lambdas` is empty
+  double lambda_min_ratio = 1e-3; ///< λ_min = ratio · λ_max (auto grid)
+  std::vector<double> lambdas;    ///< explicit grid (sorted descending);
+                                  ///< empty = log grid from λ_max down
+  std::size_t s = 0;              ///< > 0: use the SA solver with this s
+};
+
+/// Builds the descending log-spaced λ grid from λ_max(A, b).
+std::vector<double> default_lambda_grid(const data::Dataset& dataset,
+                                        std::size_t num_lambdas,
+                                        double lambda_min_ratio);
+
+/// Computes the full warm-started path (serial, P = 1).
+std::vector<PathPoint> lasso_path(const data::Dataset& dataset,
+                                  const PathOptions& options);
+
+/// Distributed variant: call on every rank (same conventions as
+/// solve_lasso); results are replicated.
+std::vector<PathPoint> lasso_path(dist::Communicator& comm,
+                                  const data::Dataset& dataset,
+                                  const data::Partition& rows,
+                                  const PathOptions& options);
+
+}  // namespace sa::core

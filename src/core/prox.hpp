@@ -1,0 +1,48 @@
+// Proximal operators for the sparsity-inducing regularizers of the paper:
+// Lasso (soft-thresholding, the paper's equation (2)), Elastic-Net, and
+// Group Lasso.  All operators are exact closed forms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sa::core {
+
+/// Soft-thresholding operator  S_alpha(beta) = sign(beta)·max(|beta|−alpha, 0)
+/// — the proximal operator of  alpha·||·||_1  (paper eq. (2)).
+double soft_threshold(double beta, double alpha);
+
+/// Applies soft-thresholding elementwise in place.
+void soft_threshold(std::span<double> beta, double alpha);
+
+/// Proximal operator of the elastic-net penalty
+///   eta · (l1·||u||_1 + l2·||u||_2²):
+///   prox(v) = S_{eta·l1}(v) / (1 + 2·eta·l2),  applied elementwise.
+double elastic_net_prox(double v, double eta, double l1, double l2);
+void elastic_net_prox(std::span<double> v, double eta, double l1, double l2);
+
+/// Block soft-thresholding: the proximal operator of  alpha·||·||_2  on one
+/// group,  prox(v) = max(0, 1 − alpha/||v||_2) · v  (Group Lasso).
+/// A zero vector stays zero.
+void group_soft_threshold(std::span<double> v, double alpha);
+
+/// Disjoint feature groups for Group Lasso: group g covers the half-open
+/// index range [offsets[g], offsets[g+1]).
+struct GroupStructure {
+  std::vector<std::size_t> offsets;  // size = num_groups + 1, starts at 0
+
+  std::size_t num_groups() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  /// Uniform groups of size `group_size` covering n features (last group
+  /// may be short).
+  static GroupStructure uniform(std::size_t n, std::size_t group_size);
+};
+
+/// Applies the group-lasso proximal operator  prox_{alpha·Σ_g||x_g||_2}
+/// over every group of x in place.
+void group_lasso_prox(std::span<double> x, double alpha,
+                      const GroupStructure& groups);
+
+}  // namespace sa::core

@@ -1,0 +1,279 @@
+#include "core/sa_lasso.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "core/detail.hpp"
+#include "core/prox.hpp"
+#include "data/rng.hpp"
+#include "la/eigen.hpp"
+#include "la/vector_batch.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+LassoResult solve_sa_lasso(dist::Communicator& comm,
+                           const data::Dataset& dataset,
+                           const data::Partition& rows,
+                           const SaLassoOptions& options) {
+  const LassoOptions& base = options.base;
+  SA_CHECK(options.s >= 1, "solve_sa_lasso: s must be >= 1");
+  SA_CHECK(base.block_size >= 1 &&
+               base.block_size <= dataset.num_features(),
+           "solve_sa_lasso: block size must be in [1, n]");
+  SA_CHECK(base.lambda >= 0.0, "solve_sa_lasso: lambda must be >= 0");
+
+  const auto start = Clock::now();
+  const std::size_t n = dataset.num_features();
+  const std::size_t mu = base.block_size;
+  const std::size_t s = options.s;
+  const detail::ProxSpec prox = detail::ProxSpec::from_options(base);
+
+  RowBlock block(dataset, rows, comm.rank());
+  data::CoordinateSampler sampler(n, mu, base.seed);
+
+  LassoResult result;
+  result.x.assign(n, 0.0);
+  Trace& trace = result.trace;
+
+  // Replicated / partitioned state exactly as in solve_lasso (cd_lasso.cpp):
+  // plain mode uses (z, z̃) as (x, r̃) and ignores (y, ỹ).
+  std::vector<double> z(n, 0.0);
+  std::vector<double> y(n, 0.0);
+  std::vector<double> z_img(block.local_rows());
+  std::vector<double> y_img(block.local_rows(), 0.0);
+  if (!base.x0.empty()) {
+    SA_CHECK(base.x0.size() == n, "solve_sa_lasso: x0 must have length n");
+    z = base.x0;
+    block.matrix().spmv(z, z_img);
+    for (std::size_t i = 0; i < z_img.size(); ++i)
+      z_img[i] -= block.labels()[i];
+  } else {
+    for (std::size_t i = 0; i < z_img.size(); ++i)
+      z_img[i] = -block.labels()[i];
+  }
+
+  const double q =
+      std::ceil(static_cast<double>(n) / static_cast<double>(mu));
+  double theta = static_cast<double>(mu) / static_cast<double>(n);
+
+  const auto current_x = [&]() -> std::vector<double> {
+    if (!base.accelerated) return z;
+    std::vector<double> x(n);
+    const double t2 = theta * theta;
+    for (std::size_t j = 0; j < n; ++j) x[j] = t2 * y[j] + z[j];
+    return x;
+  };
+
+  const auto record_trace = [&](std::size_t iteration) {
+    const dist::CommStats snapshot = comm.stats();
+    std::vector<double> x = current_x();
+    std::vector<double> res(block.local_rows());
+    const double t2 = theta * theta;
+    for (std::size_t i = 0; i < res.size(); ++i)
+      res[i] = base.accelerated ? t2 * y_img[i] + z_img[i] : z_img[i];
+    const double total_sq =
+        comm.allreduce_sum_scalar(la::nrm2_squared(res));
+    double penalty_value = 0.0;
+    switch (base.penalty) {
+      case Penalty::kLasso:
+        penalty_value = base.lambda * la::asum(x);
+        break;
+      case Penalty::kElasticNet:
+        penalty_value = base.lambda * (base.elastic_net_l1 * la::asum(x) +
+                                       base.elastic_net_l2 *
+                                           la::nrm2_squared(x));
+        break;
+    }
+    comm.set_stats(snapshot);
+    TracePoint point;
+    point.iteration = iteration;
+    point.objective = 0.5 * total_sq + penalty_value;
+    point.stats = snapshot;
+    point.wall_seconds = seconds_since(start);
+    trace.points.push_back(point);
+  };
+
+  if (base.trace_every > 0) record_trace(0);
+
+  std::size_t iterations_done = 0;
+  std::size_t since_trace = 0;
+  while (iterations_done < base.max_iterations) {
+    const std::size_t s_eff =
+        std::min(s, base.max_iterations - iterations_done);
+
+    // --- Sampling: s_eff blocks of µ coordinates (seed-replicated). ---
+    std::vector<std::vector<std::size_t>> idx(s_eff);
+    std::vector<la::VectorBatch> batches;
+    batches.reserve(s_eff);
+    for (std::size_t t = 0; t < s_eff; ++t) {
+      idx[t] = sampler.next();
+      batches.push_back(block.gather_columns(idx[t]));
+    }
+    const la::VectorBatch big = la::concat(batches);
+    const std::size_t k = big.size();  // s_eff · µ
+
+    // --- The ONE communication round of this outer iteration:
+    //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]). ---
+    const std::size_t tri = detail::triangle_size(k);
+    const std::size_t sections = base.accelerated ? 2 : 1;
+    std::vector<double> buffer(tri + sections * k);
+    {
+      const la::DenseMatrix g_local = big.gram();
+      comm.add_flops(big.gram_flops());
+      detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
+      if (base.accelerated) {
+        const std::vector<double> ydots = big.dot_all(y_img);
+        const std::vector<double> zdots = big.dot_all(z_img);
+        comm.add_flops(2 * big.dot_all_flops());
+        std::copy(ydots.begin(), ydots.end(), buffer.begin() + tri);
+        std::copy(zdots.begin(), zdots.end(), buffer.begin() + tri + k);
+      } else {
+        const std::vector<double> rdots = big.dot_all(z_img);
+        comm.add_flops(big.dot_all_flops());
+        std::copy(rdots.begin(), rdots.end(), buffer.begin() + tri);
+      }
+    }
+    comm.allreduce_sum(buffer);
+    const la::DenseMatrix gram =
+        detail::unpack_upper(std::span<const double>(buffer.data(), tri), k);
+    const std::span<const double> dots1(buffer.data() + tri, k);
+    const std::span<const double> dots2(
+        buffer.data() + tri + (base.accelerated ? k : 0),
+        base.accelerated ? k : 0);
+
+    // --- Redundant inner iterations (equations (3)–(5)), replicated. ---
+    // θ entering inner iteration t (θ_{sk+t} in paper indexing, t 0-based).
+    std::vector<double> theta_in(s_eff + 1);
+    theta_in[0] = theta;
+    for (std::size_t t = 0; t < s_eff; ++t)
+      theta_in[t + 1] = detail::theta_next(theta_in[t]);
+
+    // Deferred per-iteration solution updates Δz (µ each).
+    std::vector<std::vector<double>> delta(s_eff,
+                                           std::vector<double>(mu, 0.0));
+    // Accumulated deferred update per coordinate (the Σ I_jᵀI_t Δz_t
+    // overlap terms of equations (4)–(5)).
+    std::unordered_map<std::size_t, double> pending;
+    pending.reserve(s_eff * mu * 2);
+
+    for (std::size_t j = 0; j < s_eff; ++j) {
+      // Diagonal µ×µ block of G is A_jᵀA_j; its largest eigenvalue is the
+      // block Lipschitz constant (Algorithm 2 line 14).
+      la::DenseMatrix gjj(mu, mu);
+      for (std::size_t a = 0; a < mu; ++a)
+        for (std::size_t b = 0; b < mu; ++b)
+          gjj(a, b) = gram(j * mu + a, j * mu + b);
+      const double v = la::largest_eigenvalue_psd(gjj);
+      comm.add_replicated_flops(detail::eig_flops(mu));
+      if (v == 0.0) continue;  // empty block: Δz_j stays 0 (matches Alg. 1)
+
+      const double theta_prev = theta_in[j];
+      const double eta =
+          base.accelerated ? 1.0 / (q * theta_prev * v) : 1.0 / v;
+      const double t2 = theta_prev * theta_prev;
+
+      // r_j per equation (3) (accelerated) or its plain analogue.
+      std::vector<double> r(mu);
+      for (std::size_t a = 0; a < mu; ++a) {
+        r[a] = base.accelerated
+                   ? t2 * dots1[j * mu + a] + dots2[j * mu + a]
+                   : dots1[j * mu + a];
+      }
+      for (std::size_t t = 0; t < j; ++t) {
+        // Coefficient of the G_{jt}·Δz_t correction:
+        //   accelerated: −(θ²_{sk+j−1}·(1−qθ_{sk+t−1})/θ²_{sk+t−1} − 1)
+        //   plain:       +1   (residual accumulates the raw updates)
+        double c = 1.0;
+        if (base.accelerated) {
+          const double coeff_t =
+              detail::acceleration_coefficient(theta_in[t], q);
+          c = -(t2 * coeff_t - 1.0);
+        }
+        for (std::size_t a = 0; a < mu; ++a) {
+          double acc = 0.0;
+          for (std::size_t b = 0; b < mu; ++b)
+            acc += gram(j * mu + a, t * mu + b) * delta[t][b];
+          r[a] += c * acc;
+        }
+        comm.add_replicated_flops(2 * mu * mu);
+      }
+
+      // Equations (4)–(5): proximal step against the deferred state.
+      for (std::size_t a = 0; a < mu; ++a) {
+        const std::size_t coord = idx[j][a];
+        double base_value = z[coord];
+        if (const auto it = pending.find(coord); it != pending.end())
+          base_value += it->second;
+        const double g = base_value - eta * r[a];
+        const double d = prox.apply(g, eta) - base_value;
+        delta[j][a] = d;
+        if (d != 0.0) pending[coord] += d;
+      }
+    }
+
+    // --- Deferred batch updates (equations (6)–(9)). ---
+    for (std::size_t t = 0; t < s_eff; ++t) {
+      const double coeff_t =
+          base.accelerated
+              ? detail::acceleration_coefficient(theta_in[t], q)
+              : 0.0;
+      for (std::size_t a = 0; a < mu; ++a) {
+        const double d = delta[t][a];
+        if (d == 0.0) continue;
+        const std::size_t coord = idx[t][a];
+        z[coord] += d;
+        batches[t].add_scaled_to(a, d, z_img);
+        comm.add_flops(2 * batches[t].member_nnz(a));
+        if (base.accelerated) {
+          y[coord] -= coeff_t * d;
+          batches[t].add_scaled_to(a, -coeff_t * d, y_img);
+          comm.add_flops(2 * batches[t].member_nnz(a));
+        }
+      }
+    }
+    theta = theta_in[s_eff];
+    iterations_done += s_eff;
+    since_trace += s_eff;
+
+    if (base.trace_every > 0 && since_trace >= base.trace_every) {
+      record_trace(iterations_done);
+      since_trace = 0;
+    }
+    trace.iterations_run = iterations_done;
+  }
+  // Always capture the terminal state so final_objective() reflects the
+  // returned iterate even when H is not a multiple of the trace cadence.
+  if (base.trace_every > 0 &&
+      (trace.points.empty() ||
+       trace.points.back().iteration != iterations_done)) {
+    record_trace(iterations_done);
+  }
+
+  result.x = current_x();
+  trace.final_stats = comm.stats();
+  trace.total_wall_seconds = seconds_since(start);
+  return result;
+}
+
+LassoResult solve_sa_lasso_serial(const data::Dataset& dataset,
+                                  const SaLassoOptions& options) {
+  dist::SerialComm comm;
+  return solve_sa_lasso(comm, dataset,
+                        data::Partition::block(dataset.num_points(), 1),
+                        options);
+}
+
+}  // namespace sa::core

@@ -1,0 +1,34 @@
+// Synchronization-Avoiding (block) coordinate descent for proximal
+// least-squares — the paper's Algorithm 2 (SA-accBCD) and its
+// non-accelerated specialization (SA-BCD / "CA-BCD" in the paper's plots).
+//
+// The recurrence-unrolling parameter s defers all vector updates for s
+// inner iterations.  Each outer iteration samples s blocks of µ
+// coordinates, forms ONE (sµ)×(sµ) Gram matrix  G = YᵀY  together with
+// the products Yᵀỹ and Yᵀz̃, and performs a single allreduce; the s inner
+// iterations are then computed redundantly on every rank from replicated
+// data (equations (3)–(5) of the paper), and the deferred vector updates
+// are applied in batch (equations (6)–(9)).
+//
+// In exact arithmetic the iterate sequence equals Algorithm 1's; the
+// tests assert this to tight floating-point tolerances (paper Table III).
+#pragma once
+
+#include "core/cd_lasso.hpp"
+#include "core/solver_options.hpp"
+
+namespace sa::core {
+
+/// Runs Algorithm 2 on this rank.  Identical calling conventions to
+/// solve_lasso; options.s selects the unrolling depth (s = 1 degenerates
+/// to Algorithm 1 with the same communication pattern).
+LassoResult solve_sa_lasso(dist::Communicator& comm,
+                           const data::Dataset& dataset,
+                           const data::Partition& rows,
+                           const SaLassoOptions& options);
+
+/// Convenience serial entry point (P = 1).
+LassoResult solve_sa_lasso_serial(const data::Dataset& dataset,
+                                  const SaLassoOptions& options);
+
+}  // namespace sa::core

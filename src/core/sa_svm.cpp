@@ -1,0 +1,179 @@
+#include "core/sa_svm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/detail.hpp"
+#include "core/objective.hpp"
+#include "data/rng.hpp"
+#include "la/vector_batch.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double dual_step(double alpha_i, double g, double eta, double nu) {
+  const double projected = std::min(std::max(alpha_i - g, 0.0), nu);
+  if (projected == alpha_i) return 0.0;
+  return std::min(std::max(alpha_i - g / eta, 0.0), nu) - alpha_i;
+}
+
+}  // namespace
+
+SvmResult solve_sa_svm(dist::Communicator& comm,
+                       const data::Dataset& dataset,
+                       const data::Partition& cols,
+                       const SaSvmOptions& options) {
+  const SvmOptions& base = options.base;
+  SA_CHECK(options.s >= 1, "solve_sa_svm: s must be >= 1");
+  SA_CHECK(dataset.has_binary_labels(),
+           "solve_sa_svm: labels must be exactly ±1");
+  const SvmConstants constants = SvmConstants::make(base.loss, base.lambda);
+
+  const auto start = Clock::now();
+  const std::size_t m = dataset.num_points();
+  const std::size_t s = options.s;
+  ColBlock block(dataset, cols, comm.rank());
+  const std::vector<double>& b = block.labels();
+
+  data::SplitMix64 rng(base.seed);
+
+  SvmResult result;
+  result.alpha.assign(m, 0.0);
+  std::vector<double>& alpha = result.alpha;
+  std::vector<double> x_loc(block.local_cols(), 0.0);
+  Trace& trace = result.trace;
+
+  const auto record_trace = [&](std::size_t iteration) {
+    const dist::CommStats snapshot = comm.stats();
+    std::vector<double> margins(m, 0.0);
+    block.matrix().spmv(x_loc, margins);
+    comm.allreduce_sum(margins);
+    const double x_norm_sq =
+        comm.allreduce_sum_scalar(la::nrm2_squared(x_loc));
+    double hinge_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double slack = std::max(0.0, 1.0 - b[i] * margins[i]);
+      hinge_sum += (base.loss == SvmLoss::kL1) ? slack : slack * slack;
+    }
+    const double primal = 0.5 * x_norm_sq + base.lambda * hinge_sum;
+    const double dual = la::sum(alpha) - 0.5 * x_norm_sq -
+                        0.5 * constants.gamma * la::nrm2_squared(alpha);
+    comm.set_stats(snapshot);
+    TracePoint point;
+    point.iteration = iteration;
+    point.objective = primal - dual;
+    point.stats = snapshot;
+    point.wall_seconds = seconds_since(start);
+    trace.points.push_back(point);
+  };
+
+  if (base.trace_every > 0) record_trace(0);
+
+  std::size_t iterations_done = 0;
+  std::size_t since_trace = 0;
+  bool stop = false;
+  while (iterations_done < base.max_iterations && !stop) {
+    const std::size_t s_eff =
+        std::min(s, base.max_iterations - iterations_done);
+
+    // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
+    std::vector<std::size_t> idx(s_eff);
+    for (std::size_t t = 0; t < s_eff; ++t)
+      idx[t] = static_cast<std::size_t>(rng.next_below(m));
+    const la::VectorBatch batch = block.gather_rows(idx);
+
+    // --- The ONE communication round: [upper(G) | Yᵀx]. ---
+    const std::size_t tri = detail::triangle_size(s_eff);
+    std::vector<double> buffer(tri + s_eff);
+    {
+      const la::DenseMatrix g_local = batch.gram();
+      comm.add_flops(batch.gram_flops());
+      detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
+      const std::vector<double> xdots = batch.dot_all(x_loc);
+      comm.add_flops(batch.dot_all_flops());
+      std::copy(xdots.begin(), xdots.end(), buffer.begin() + tri);
+    }
+    comm.allreduce_sum(buffer);
+    const la::DenseMatrix gram = detail::unpack_upper(
+        std::span<const double>(buffer.data(), tri), s_eff);
+    const std::span<const double> xdots(buffer.data() + tri, s_eff);
+
+    // --- Redundant inner iterations (equations (14)–(15)), replicated.
+    std::vector<double> theta(s_eff, 0.0);
+    for (std::size_t j = 0; j < s_eff; ++j) {
+      // η_j = G_jj + γ  (Algorithm 4 line 11: diag of G+γI).
+      const double eta = gram(j, j) + constants.gamma;
+
+      // β_j per equation (14): α_i plus earlier deferred updates to the
+      // same coordinate.
+      double beta = alpha[idx[j]];
+      for (std::size_t t = 0; t < j; ++t)
+        if (idx[t] == idx[j]) beta += theta[t];
+
+      // g_j per equation (15): the cross terms use the off-diagonal Gram
+      // entries  A_jA_tᵀ = G_jt.
+      double g = b[idx[j]] * xdots[j] - 1.0 + constants.gamma * beta;
+      for (std::size_t t = 0; t < j; ++t) {
+        if (theta[t] == 0.0) continue;
+        g += theta[t] * b[idx[j]] * b[idx[t]] * gram(j, t);
+      }
+      comm.add_replicated_flops(4 * j);
+
+      theta[j] = (eta > 0.0) ? dual_step(beta, g, eta, constants.nu) : 0.0;
+    }
+
+    // --- Deferred batch updates:  α += Σ θ_t e_{i_t},  x += Σ θ_t b_t A_tᵀ.
+    for (std::size_t t = 0; t < s_eff; ++t) {
+      if (theta[t] == 0.0) continue;
+      alpha[idx[t]] += theta[t];
+      batch.add_scaled_to(t, theta[t] * b[idx[t]], x_loc);
+      comm.add_flops(2 * batch.member_nnz(t));
+    }
+
+    iterations_done += s_eff;
+    since_trace += s_eff;
+    if (base.trace_every > 0 && since_trace >= base.trace_every) {
+      record_trace(iterations_done);
+      since_trace = 0;
+      if (base.gap_tolerance > 0.0 &&
+          trace.points.back().objective <= base.gap_tolerance)
+        stop = true;
+    }
+    trace.iterations_run = iterations_done;
+  }
+  // Always capture the terminal state (see sa_lasso.cpp).
+  if (base.trace_every > 0 &&
+      (trace.points.empty() ||
+       trace.points.back().iteration != iterations_done)) {
+    record_trace(iterations_done);
+  }
+
+  result.x.assign(dataset.num_features(), 0.0);
+  std::copy(x_loc.begin(), x_loc.end(),
+            result.x.begin() + cols.begin(comm.rank()));
+  comm.allreduce_sum(result.x);
+
+  trace.final_stats = comm.stats();
+  trace.total_wall_seconds = seconds_since(start);
+  return result;
+}
+
+SvmResult solve_sa_svm_serial(const data::Dataset& dataset,
+                              const SaSvmOptions& options) {
+  dist::SerialComm comm;
+  return solve_sa_svm(comm, dataset,
+                      data::Partition::block(dataset.num_features(), 1),
+                      options);
+}
+
+}  // namespace sa::core

@@ -1,0 +1,32 @@
+// Synchronization-Avoiding dual coordinate descent for linear SVM —
+// the paper's Algorithm 4 (SA-SVM), L1 and L2 hinge losses.
+//
+// Each outer iteration samples s data points, gathers their rows
+// (restricted to the local column slice), and performs ONE allreduce of
+// [upper(G) | Yᵀx] where  G = YYᵀ (s×s Gram of the sampled rows); the
+// diagonal of G (+γ) provides every inner iteration's curvature η.  The s
+// projected-Newton updates are then computed redundantly on every rank
+// from replicated data via the paper's equations (14)–(15), and the
+// deferred updates to α and x are applied in batch.
+//
+// In exact arithmetic the iterate sequence equals Algorithm 3's; tests
+// assert this to tight floating-point tolerances (paper Figure 5).
+#pragma once
+
+#include "core/solver_options.hpp"
+#include "core/svm.hpp"
+
+namespace sa::core {
+
+/// Runs Algorithm 4 on this rank.  Identical calling conventions to
+/// solve_svm; options.s selects the unrolling depth.
+SvmResult solve_sa_svm(dist::Communicator& comm,
+                       const data::Dataset& dataset,
+                       const data::Partition& cols,
+                       const SaSvmOptions& options);
+
+/// Convenience serial entry point (P = 1).
+SvmResult solve_sa_svm_serial(const data::Dataset& dataset,
+                              const SaSvmOptions& options);
+
+}  // namespace sa::core

@@ -1,0 +1,57 @@
+// Option structs shared by the solver families.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "core/objective.hpp"
+
+namespace sa::core {
+
+/// Which regularizer the proximal least-squares solvers apply.
+/// (Group Lasso has a dedicated cyclic solver in group_lasso.hpp because
+/// its prox must be aligned with the group structure.)
+enum class Penalty { kLasso, kElasticNet };
+
+/// Options for the CD/BCD/accCD/accBCD Lasso family (paper Algorithm 1).
+struct LassoOptions {
+  double lambda = 0.1;            ///< regularization strength λ
+  Penalty penalty = Penalty::kLasso;
+  double elastic_net_l1 = 1.0;    ///< l1 weight when penalty == kElasticNet
+  double elastic_net_l2 = 0.0;    ///< l2 weight when penalty == kElasticNet
+  std::size_t block_size = 1;     ///< µ (1 = plain CD)
+  std::size_t max_iterations = 1000;  ///< H
+  bool accelerated = false;       ///< Nesterov acceleration (accCD/accBCD)
+  std::uint64_t seed = 42;        ///< replicated sampler seed
+  std::size_t trace_every = 0;    ///< record objective every k iters (0=off)
+  /// Warm start: initial solution (empty = zeros).  Used by regularization
+  /// paths (core/path.hpp); must have length n when non-empty.
+  std::vector<double> x0;
+};
+
+/// Options for the synchronization-avoiding variants (paper Algorithm 2):
+/// identical semantics plus the recurrence-unrolling depth s.
+struct SaLassoOptions {
+  LassoOptions base;
+  std::size_t s = 8;  ///< iterations per communication round
+};
+
+/// Options for dual coordinate-descent SVM (paper Algorithm 3).
+struct SvmOptions {
+  double lambda = 1.0;           ///< penalty parameter λ (paper uses λ = 1)
+  SvmLoss loss = SvmLoss::kL1;
+  std::size_t max_iterations = 10000;  ///< H
+  std::uint64_t seed = 42;
+  std::size_t trace_every = 0;   ///< record duality gap every k iters (0=off)
+  double gap_tolerance = 0.0;    ///< stop early when gap ≤ tol (0 = never);
+                                 ///< checked at trace points only
+};
+
+/// Options for SA-SVM (paper Algorithm 4).
+struct SaSvmOptions {
+  SvmOptions base;
+  std::size_t s = 8;
+};
+
+}  // namespace sa::core

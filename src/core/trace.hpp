@@ -1,0 +1,38 @@
+// Per-iteration solver history.
+//
+// A Trace records, at the iterations a solver chooses to instrument, the
+// objective value (or duality gap), the metered communication counters up
+// to that point, and the wall-clock time since the solve started.  The
+// benchmark harness prices the counters with a MachineParams to regenerate
+// the paper's time-axis plots (Figures 3–4) deterministically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/comm.hpp"
+
+namespace sa::core {
+
+/// One instrumented point of a solve.
+struct TracePoint {
+  std::size_t iteration = 0;    ///< inner-iteration count h (not outer k)
+  double objective = 0.0;       ///< Lasso objective or SVM duality gap
+  dist::CommStats stats;        ///< counters accumulated so far (this rank)
+  double wall_seconds = 0.0;    ///< measured wall time since solve start
+};
+
+/// Ordered sequence of trace points plus end-of-solve totals.
+struct Trace {
+  std::vector<TracePoint> points;
+  dist::CommStats final_stats;   ///< counters at termination
+  std::size_t iterations_run = 0;
+  double total_wall_seconds = 0.0;
+
+  bool empty() const { return points.empty(); }
+  double final_objective() const {
+    return points.empty() ? 0.0 : points.back().objective;
+  }
+};
+
+}  // namespace sa::core

@@ -1,0 +1,63 @@
+// 1D data partitioning across ranks.
+//
+// Lasso partitions A by rows (each rank owns a contiguous row block and the
+// matching slice of every ℝ^m vector); SVM partitions by columns.  Both are
+// block partitions described by a Partition object, plus load-balance
+// diagnostics — the paper reports that row-to-column re-partitioning caused
+// straggler-induced slowdowns for sparse SVM datasets (§VI), which the
+// imbalance statistics here quantify.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace sa::data {
+
+/// A partition of [0, n) into P contiguous blocks.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Balanced block partition: sizes differ by at most one.
+  static Partition block(std::size_t n, int num_ranks);
+
+  /// Partition with explicit boundaries; offsets must start at 0, end at n,
+  /// and be non-decreasing.
+  explicit Partition(std::vector<std::size_t> offsets);
+
+  int num_ranks() const { return static_cast<int>(offsets_.size()) - 1; }
+  std::size_t total() const { return offsets_.back(); }
+
+  std::size_t begin(int rank) const { return offsets_[rank]; }
+  std::size_t end(int rank) const { return offsets_[rank + 1]; }
+  std::size_t count(int rank) const { return end(rank) - begin(rank); }
+
+  /// Rank owning global index i (binary search).
+  int owner(std::size_t i) const;
+
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+ private:
+  std::vector<std::size_t> offsets_;
+};
+
+/// Load-balance statistics of a partitioned sparse matrix.
+struct LoadBalance {
+  std::size_t min_nnz = 0;
+  std::size_t max_nnz = 0;
+  double mean_nnz = 0.0;
+  /// max/mean; 1.0 is perfect balance, > 1 measures straggler slowdown.
+  double imbalance = 1.0;
+};
+
+/// Computes per-rank nonzero balance for a row partition of `a`.
+LoadBalance row_partition_balance(const la::CsrMatrix& a,
+                                  const Partition& rows);
+
+/// Computes per-rank nonzero balance for a column partition of `a`.
+LoadBalance col_partition_balance(const la::CsrMatrix& a,
+                                  const Partition& cols);
+
+}  // namespace sa::data

@@ -1,0 +1,212 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "data/rng.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::data {
+
+namespace {
+
+/// Draws `k` distinct column indices from [0, n), sorted ascending.
+std::vector<std::size_t> draw_columns(SplitMix64& rng, std::size_t n,
+                                      std::size_t k) {
+  SA_CHECK(k <= n, "draw_columns: k must not exceed n");
+  std::vector<std::size_t> cols;
+  cols.reserve(k);
+  if (k * 3 >= n) {
+    // Dense regime: reservoir over all indices.
+    for (std::size_t j = 0; j < n; ++j) {
+      // Select each index with the exact conditional probability to end up
+      // with k of n (classic sequential sampling).
+      const std::size_t remaining_need = k - cols.size();
+      const std::size_t remaining_pool = n - j;
+      if (rng.next_below(remaining_pool) < remaining_need)
+        cols.push_back(j);
+      if (cols.size() == k) break;
+    }
+  } else {
+    // Sparse regime: rejection sampling into a set.
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    while (cols.size() < k) {
+      const auto j = static_cast<std::size_t>(rng.next_below(n));
+      if (seen.insert(j).second) cols.push_back(j);
+    }
+    std::sort(cols.begin(), cols.end());
+  }
+  return cols;
+}
+
+/// Builds a random sparse matrix with ~density·m·n standard-normal
+/// nonzeros; every row receives at least one nonzero.
+la::CsrMatrix random_sparse(SplitMix64& rng, std::size_t m, std::size_t n,
+                            double density) {
+  SA_CHECK(m > 0 && n > 0, "random_sparse: empty shape");
+  SA_CHECK(density > 0.0 && density <= 1.0,
+           "random_sparse: density must be in (0, 1]");
+  std::vector<std::size_t> indptr{0};
+  std::vector<std::size_t> indices;
+  std::vector<double> values;
+  const double target_per_row = density * static_cast<double>(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Randomised rounding keeps the expected density exact even when
+    // target_per_row < 1.
+    std::size_t k = static_cast<std::size_t>(target_per_row);
+    if (rng.next_double() < target_per_row - static_cast<double>(k)) ++k;
+    k = std::clamp<std::size_t>(k, 1, n);
+    for (std::size_t j : draw_columns(rng, n, k)) {
+      indices.push_back(j);
+      values.push_back(rng.next_normal());
+    }
+    indptr.push_back(indices.size());
+  }
+  return la::CsrMatrix(m, n, std::move(indptr), std::move(indices),
+                       std::move(values));
+}
+
+}  // namespace
+
+RegressionProblem make_regression(const RegressionConfig& config) {
+  SA_CHECK(config.support_size <= config.num_features,
+           "make_regression: support larger than feature count");
+  SplitMix64 rng(config.seed);
+  RegressionProblem out;
+  out.dataset.name = config.name;
+  out.dataset.a = random_sparse(rng, config.num_points, config.num_features,
+                                config.density);
+
+  // Planted sparse solution with ±U(1, 2) magnitudes on a random support.
+  out.x_star.assign(config.num_features, 0.0);
+  for (std::size_t j :
+       draw_columns(rng, config.num_features, config.support_size)) {
+    const double magnitude = 1.0 + rng.next_double();
+    out.x_star[j] = (rng.next_double() < 0.5 ? -1.0 : 1.0) * magnitude;
+  }
+
+  out.dataset.b.assign(config.num_points, 0.0);
+  out.dataset.a.spmv(out.x_star, out.dataset.b);
+  if (config.noise_sigma > 0.0) {
+    for (double& v : out.dataset.b) v += config.noise_sigma * rng.next_normal();
+  }
+  return out;
+}
+
+Dataset make_classification(const ClassificationConfig& config) {
+  SplitMix64 rng(config.seed);
+  Dataset d;
+  d.name = config.name;
+  la::CsrMatrix a = random_sparse(rng, config.num_points, config.num_features,
+                                  config.density);
+
+  // Planted hyperplane.
+  std::vector<double> w(config.num_features);
+  for (double& v : w) v = rng.next_normal();
+
+  // Scale rows so every point has functional margin >= config.margin, then
+  // label by the side of the hyperplane.  Scaling a row preserves sparsity.
+  std::vector<double> z(config.num_points, 0.0);
+  a.spmv(w, z);
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(a.nnz());
+  d.b.resize(config.num_points);
+  for (std::size_t i = 0; i < config.num_points; ++i) {
+    double zi = z[i];
+    if (zi == 0.0) zi = config.margin;  // degenerate row: assign +1 side
+    d.b[i] = zi >= 0.0 ? 1.0 : -1.0;
+    double row_scale = 1.0;
+    if (config.margin > 0.0 && std::abs(zi) < config.margin)
+      row_scale = config.margin / std::abs(zi);
+    const auto idx = a.row_indices(i);
+    const auto val = a.row_values(i);
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      triplets.push_back({i, idx[k], val[k] * row_scale});
+  }
+  if (config.label_noise > 0.0) {
+    for (double& label : d.b) {
+      if (rng.next_double() < config.label_noise) label = -label;
+    }
+  }
+  d.a = la::CsrMatrix::from_triplets(config.num_points, config.num_features,
+                                     std::move(triplets));
+  return d;
+}
+
+PaperShape paper_shape(PaperDataset which) {
+  // Shapes exactly as printed in the paper's Table II and Table IV.
+  switch (which) {
+    case PaperDataset::kUrl:
+      return {"url", 3231961, 2396130, 0.0036, false};
+    case PaperDataset::kNews20:
+      return {"news20", 62061, 15935, 0.13, false};
+    case PaperDataset::kCovtype:
+      return {"covtype", 54, 581012, 22.0, false};
+    case PaperDataset::kEpsilon:
+      return {"epsilon", 2000, 400000, 100.0, false};
+    case PaperDataset::kLeu:
+      return {"leu", 7129, 38, 100.0, false};
+    case PaperDataset::kW1a:
+      return {"w1a", 2477, 300, 4.0, true};
+    case PaperDataset::kDuke:
+      return {"duke", 7129, 44, 100.0, true};
+    case PaperDataset::kNews20Binary:
+      return {"news20.binary", 19996, 1355191, 0.03, true};
+    case PaperDataset::kRcv1Binary:
+      return {"rcv1.binary", 20242, 47236, 0.16, true};
+    case PaperDataset::kGisette:
+      return {"gisette", 6000, 5000, 99.0, true};
+  }
+  throw PreconditionError("paper_shape: unknown dataset");
+}
+
+Dataset make_paper_twin(PaperDataset which, double shrink, std::uint64_t seed,
+                        bool force_classification) {
+  SA_CHECK(shrink >= 1.0, "make_paper_twin: shrink must be >= 1");
+  const PaperShape shape = paper_shape(which);
+  const auto scaled = [&](std::size_t v) {
+    return std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                std::llround(static_cast<double>(v) / shrink)));
+  };
+  const std::size_t m = scaled(shape.points);
+  const std::size_t n = scaled(shape.features);
+  const double density = std::clamp(shape.nnz_percent / 100.0, 1e-6, 1.0);
+
+  if (shape.classification || force_classification) {
+    ClassificationConfig cfg;
+    cfg.num_points = m;
+    cfg.num_features = n;
+    cfg.density = density;
+    cfg.margin = 0.5;
+    cfg.seed = seed;
+    cfg.name = shape.name + "-twin";
+    return make_classification(cfg);
+  }
+  RegressionConfig cfg;
+  cfg.num_points = m;
+  cfg.num_features = n;
+  cfg.density = density;
+  cfg.support_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(n)));
+  cfg.noise_sigma = 0.01;
+  cfg.seed = seed;
+  cfg.name = shape.name + "-twin";
+  return make_regression(cfg).dataset;
+}
+
+std::vector<PaperDataset> lasso_paper_datasets() {
+  return {PaperDataset::kUrl, PaperDataset::kNews20, PaperDataset::kCovtype,
+          PaperDataset::kEpsilon, PaperDataset::kLeu};
+}
+
+std::vector<PaperDataset> svm_paper_datasets() {
+  return {PaperDataset::kW1a,         PaperDataset::kLeu,
+          PaperDataset::kDuke,        PaperDataset::kNews20Binary,
+          PaperDataset::kRcv1Binary,  PaperDataset::kGisette};
+}
+
+}  // namespace sa::data

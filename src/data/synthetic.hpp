@@ -1,0 +1,97 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on nine LIBSVM datasets.  Real downloads work through
+// libsvm_io.hpp; for self-contained, offline, deterministic benchmarks this
+// header provides generators for the same *shapes* — controlled
+// (m, n, density) with over/under-determined variants — plus "paper twins":
+// scaled-down instances matching each dataset's row/column ratio and
+// sparsity as printed in Tables II and IV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace sa::data {
+
+/// Parameters for the sparse regression generator.
+struct RegressionConfig {
+  std::size_t num_points = 1000;    ///< m (rows of A)
+  std::size_t num_features = 100;   ///< n (columns of A)
+  double density = 0.1;             ///< expected nnz fraction of A
+  std::size_t support_size = 10;    ///< nonzeros in the planted solution x*
+  double noise_sigma = 0.01;        ///< stddev of additive Gaussian noise
+  std::uint64_t seed = 42;
+  std::string name = "synthetic-regression";
+};
+
+/// Generates a Lasso-style problem: sparse A with N(0,1) nonzeros placed
+/// uniformly at random (every row is given at least one nonzero so no data
+/// point is empty), a planted `support_size`-sparse solution x*, and
+/// b = A·x* + noise.  The planted x* is returned alongside the dataset.
+struct RegressionProblem {
+  Dataset dataset;
+  std::vector<double> x_star;
+};
+RegressionProblem make_regression(const RegressionConfig& config);
+
+/// Parameters for the binary classification generator.
+struct ClassificationConfig {
+  std::size_t num_points = 1000;
+  std::size_t num_features = 100;
+  double density = 0.1;
+  double margin = 0.5;       ///< separation margin of the planted hyperplane
+  double label_noise = 0.0;  ///< fraction of labels flipped at random
+  std::uint64_t seed = 42;
+  std::string name = "synthetic-classification";
+};
+
+/// Generates an SVM-style problem: sparse A, labels ±1 from a planted
+/// hyperplane with the requested margin, optional label noise.
+Dataset make_classification(const ClassificationConfig& config);
+
+/// Identifiers for the paper's datasets (Tables II and IV).
+enum class PaperDataset {
+  kUrl,          // Table II:   3 231 961 features × 2 396 130 points, 0.0036 %
+  kNews20,       // Table II:      62 061 × 15 935, 0.13 %
+  kCovtype,      // Table II:          54 × 581 012, 22 %
+  kEpsilon,      // Table II:       2 000 × 400 000, 100 %
+  kLeu,          // Table II:       7 129 × 38, 100 %
+  kW1a,          // Table IV:       2 477 × 300, 4 %
+  kDuke,         // Table IV:       7 129 × 44, 100 %
+  kNews20Binary, // Table IV:      19 996 × 1 355 191, 0.03 %
+  kRcv1Binary,   // Table IV:      20 242 × 47 236, 0.16 %
+  kGisette,      // Table IV:       6 000 × 5 000, 99 %
+};
+
+/// Printed shape of a paper dataset (as in Tables II / IV).
+struct PaperShape {
+  std::string name;
+  std::size_t features = 0;
+  std::size_t points = 0;
+  double nnz_percent = 0.0;
+  bool classification = false;
+};
+
+/// Returns the shape exactly as printed in the paper.
+PaperShape paper_shape(PaperDataset which);
+
+/// Builds a scaled-down "twin" of a paper dataset: dimensions divided by
+/// `shrink` (minimum 16 each, ratio preserved as closely as possible),
+/// density preserved, regression targets for Table II datasets and ±1
+/// labels for Table IV datasets.  shrink = 1 reproduces the printed size.
+/// `force_classification` requests ±1 labels regardless of table (the
+/// paper uses leu in both the Lasso and the SVM experiments).
+Dataset make_paper_twin(PaperDataset which, double shrink,
+                        std::uint64_t seed = 42,
+                        bool force_classification = false);
+
+/// All Table II (Lasso) datasets, in paper order.
+std::vector<PaperDataset> lasso_paper_datasets();
+
+/// All Table IV (SVM) datasets, in paper order.
+std::vector<PaperDataset> svm_paper_datasets();
+
+}  // namespace sa::data

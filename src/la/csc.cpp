@@ -1,0 +1,7 @@
+#include "la/csc.hpp"
+
+namespace sa::la {
+
+CscMatrix::CscMatrix(const CsrMatrix& a) : csr_t_(a.transposed()) {}
+
+}  // namespace sa::la

@@ -1,0 +1,222 @@
+#include "la/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sa::la {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> indptr,
+                     std::vector<std::size_t> indices,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      indptr_(std::move(indptr)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  SA_CHECK(indptr_.size() == rows_ + 1, "CsrMatrix: indptr size must be rows+1");
+  SA_CHECK(indices_.size() == values_.size(),
+           "CsrMatrix: indices/values size mismatch");
+  SA_CHECK(indptr_.front() == 0 && indptr_.back() == indices_.size(),
+           "CsrMatrix: indptr must start at 0 and end at nnz");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    SA_CHECK(indptr_[i] <= indptr_[i + 1], "CsrMatrix: indptr must be monotone");
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k) {
+      SA_CHECK(indices_[k] < cols_, "CsrMatrix: column index out of range");
+      if (k > indptr_[i])
+        SA_CHECK(indices_[k - 1] < indices_[k],
+                 "CsrMatrix: column indices must be sorted within a row");
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    SA_CHECK(t.row < rows && t.col < cols,
+             "from_triplets: entry out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<std::size_t> indptr(rows + 1, 0);
+  std::vector<std::size_t> indices;
+  std::vector<double> values;
+  indices.reserve(triplets.size());
+  values.reserve(triplets.size());
+  for (std::size_t k = 0; k < triplets.size();) {
+    const std::size_t r = triplets[k].row;
+    const std::size_t c = triplets[k].col;
+    double v = 0.0;
+    while (k < triplets.size() && triplets[k].row == r &&
+           triplets[k].col == c) {
+      v += triplets[k].value;  // duplicates are summed
+      ++k;
+    }
+    indices.push_back(c);
+    values.push_back(v);
+    indptr[r + 1] = indices.size();
+  }
+  // Fill gaps for empty rows: indptr[i+1] currently 0 for rows with no
+  // entries after the last populated row; make it cumulative.
+  for (std::size_t i = 1; i <= rows; ++i)
+    indptr[i] = std::max(indptr[i], indptr[i - 1]);
+  return CsrMatrix(rows, cols, std::move(indptr), std::move(indices),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::from_dense(const DenseMatrix& a, double drop_tol) {
+  std::vector<std::size_t> indptr(a.rows() + 1, 0);
+  std::vector<std::size_t> indices;
+  std::vector<double> values;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::abs(a(i, j)) > drop_tol) {
+        indices.push_back(j);
+        values.push_back(a(i, j));
+      }
+    }
+    indptr[i + 1] = indices.size();
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(indptr), std::move(indices),
+                   std::move(values));
+}
+
+double CsrMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+std::span<const std::size_t> CsrMatrix::row_indices(std::size_t i) const {
+  SA_CHECK(i < rows_, "row_indices: row out of range");
+  return std::span<const std::size_t>(indices_.data() + indptr_[i],
+                                      indptr_[i + 1] - indptr_[i]);
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t i) const {
+  SA_CHECK(i < rows_, "row_values: row out of range");
+  return std::span<const double>(values_.data() + indptr_[i],
+                                 indptr_[i + 1] - indptr_[i]);
+}
+
+std::size_t CsrMatrix::row_nnz(std::size_t i) const {
+  SA_CHECK(i < rows_, "row_nnz: row out of range");
+  return indptr_[i + 1] - indptr_[i];
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  SA_CHECK(x.size() == cols_ && y.size() == rows_, "spmv: dimension mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k)
+      acc += values_[k] * x[indices_[k]];
+    y[i] = acc;
+  }
+}
+
+void CsrMatrix::spmv_transpose(std::span<const double> x,
+                               std::span<double> y) const {
+  SA_CHECK(x.size() == rows_ && y.size() == cols_,
+           "spmv_transpose: dimension mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k)
+      y[indices_[k]] += values_[k] * xi;
+  }
+}
+
+CsrMatrix CsrMatrix::row_slice(std::size_t row_begin,
+                               std::size_t row_end) const {
+  SA_CHECK(row_begin <= row_end && row_end <= rows_,
+           "row_slice: invalid range");
+  const std::size_t base = indptr_[row_begin];
+  std::vector<std::size_t> indptr(row_end - row_begin + 1);
+  for (std::size_t i = row_begin; i <= row_end; ++i)
+    indptr[i - row_begin] = indptr_[i] - base;
+  std::vector<std::size_t> indices(indices_.begin() + base,
+                                   indices_.begin() + indptr_[row_end]);
+  std::vector<double> values(values_.begin() + base,
+                             values_.begin() + indptr_[row_end]);
+  return CsrMatrix(row_end - row_begin, cols_, std::move(indptr),
+                   std::move(indices), std::move(values));
+}
+
+CsrMatrix CsrMatrix::col_slice(std::size_t col_begin,
+                               std::size_t col_end) const {
+  SA_CHECK(col_begin <= col_end && col_end <= cols_,
+           "col_slice: invalid range");
+  std::vector<std::size_t> indptr(rows_ + 1, 0);
+  std::vector<std::size_t> indices;
+  std::vector<double> values;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k) {
+      const std::size_t j = indices_[k];
+      if (j >= col_begin && j < col_end) {
+        indices.push_back(j - col_begin);
+        values.push_back(values_[k]);
+      }
+    }
+    indptr[i + 1] = indices.size();
+  }
+  return CsrMatrix(rows_, col_end - col_begin, std::move(indptr),
+                   std::move(indices), std::move(values));
+}
+
+SparseVector CsrMatrix::gather_row(std::size_t i) const {
+  SA_CHECK(i < rows_, "gather_row: row out of range");
+  SparseVector v;
+  v.dim = cols_;
+  const auto idx = row_indices(i);
+  const auto val = row_values(i);
+  v.indices.assign(idx.begin(), idx.end());
+  v.values.assign(val.begin(), val.end());
+  return v;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<std::size_t> indptr(cols_ + 1, 0);
+  for (std::size_t k = 0; k < indices_.size(); ++k) ++indptr[indices_[k] + 1];
+  for (std::size_t j = 0; j < cols_; ++j) indptr[j + 1] += indptr[j];
+  std::vector<std::size_t> indices(nnz());
+  std::vector<double> values(nnz());
+  std::vector<std::size_t> next(indptr.begin(), indptr.end() - 1);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k) {
+      const std::size_t pos = next[indices_[k]]++;
+      indices[pos] = i;
+      values[pos] = values_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(indptr), std::move(indices),
+                   std::move(values));
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k)
+      out(i, indices_[k]) = values_[k];
+  return out;
+}
+
+std::vector<double> CsrMatrix::row_norms_squared() const {
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k)
+      out[i] += values_[k] * values_[k];
+  return out;
+}
+
+std::vector<std::size_t> CsrMatrix::row_nnz_histogram() const {
+  std::vector<std::size_t> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = row_nnz(i);
+  return out;
+}
+
+}  // namespace sa::la

@@ -1,0 +1,129 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::la {
+
+namespace {
+
+/// Deterministic quasi-random start vector: varies per index so it is not
+/// orthogonal to the leading eigenvector for any matrix we encounter.
+std::vector<double> start_vector(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 1.0 + 0.37 * std::sin(static_cast<double>(i + 1));
+  const double norm = nrm2(v);
+  scale(1.0 / norm, v);
+  return v;
+}
+
+}  // namespace
+
+double largest_eigenvalue_psd(const DenseMatrix& a,
+                              const PowerIterationOptions& options) {
+  SA_CHECK(a.rows() == a.cols(), "largest_eigenvalue_psd: matrix not square");
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  if (n == 1) return a(0, 0);
+
+  std::vector<double> v = start_vector(n);
+  std::vector<double> w(n, 0.0);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    gemv(1.0, a, v, 0.0, w);
+    const double norm = nrm2(w);
+    if (norm == 0.0) return 0.0;  // a == 0 (or v in null space of PSD a)
+    scale(1.0 / norm, w);
+    const double next = [&] {
+      std::vector<double> aw(n, 0.0);
+      gemv(1.0, a, w, 0.0, aw);
+      return dot(w, aw);
+    }();
+    std::swap(v, w);
+    if (std::abs(next - lambda) <=
+        options.tolerance * std::max(1.0, std::abs(next))) {
+      return next;
+    }
+    lambda = next;
+  }
+  // Slow convergence (clustered leading eigenvalues): fall back to Jacobi.
+  std::vector<double> eig = jacobi_eigenvalues(a);
+  return eig.back();
+}
+
+std::vector<double> jacobi_eigenvalues(DenseMatrix a, double tolerance,
+                                       std::size_t max_sweeps) {
+  SA_CHECK(a.rows() == a.cols(), "jacobi_eigenvalues: matrix not square");
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+
+  const double scale_ref = std::max(a.frobenius_norm(), 1e-300);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (std::sqrt(off) <= tolerance * scale_ref) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tolerance * scale_ref / (n * n)) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply the rotation J(p, q, θ) on both sides: A := JᵀAJ.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = a(i, i);
+  std::sort(eig.begin(), eig.end());
+  return eig;
+}
+
+double largest_singular_value(const DenseMatrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) return 0.0;
+  // Work with the smaller of AᵀA and AAᵀ.
+  const DenseMatrix g = (a.cols() <= a.rows())
+                            ? gram_upper(a)
+                            : gram_upper(a.transposed());
+  return std::sqrt(std::max(0.0, largest_eigenvalue_psd(g)));
+}
+
+double smallest_nonzero_singular_value(const DenseMatrix& a,
+                                       double rank_tol) {
+  if (a.rows() == 0 || a.cols() == 0) return 0.0;
+  const DenseMatrix g = (a.cols() <= a.rows())
+                            ? gram_upper(a)
+                            : gram_upper(a.transposed());
+  std::vector<double> eig = jacobi_eigenvalues(g);
+  const double sigma_max_sq = std::max(0.0, eig.back());
+  const double cutoff = rank_tol * rank_tol * sigma_max_sq;
+  for (double e : eig) {
+    if (e > cutoff) return std::sqrt(e);
+  }
+  return 0.0;
+}
+
+}  // namespace sa::la

@@ -1,0 +1,51 @@
+// Small symmetric eigensolvers.
+//
+// The BCD solvers need the largest eigenvalue of the µ×µ sampled Gram
+// matrix every iteration (the optimal block Lipschitz constant, line 10 of
+// the paper's Algorithm 1).  µ is small (1–32 in the paper), so simple
+// dense methods are appropriate:
+//   * power iteration with a deterministic start for the largest
+//     eigenvalue (fast path used inside solvers), and
+//   * cyclic Jacobi for the full spectrum (used by tests, by λ-selection
+//     helpers, and as a fallback when power iteration stalls).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace sa::la {
+
+/// Options for power iteration.
+struct PowerIterationOptions {
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-12;  ///< Relative change in the Rayleigh quotient.
+};
+
+/// Returns the largest eigenvalue of a symmetric positive semi-definite
+/// matrix via power iteration with a deterministic starting vector.
+///
+/// Falls back to cyclic Jacobi if the iteration has not converged within
+/// max_iterations (e.g. when the two leading eigenvalues are nearly equal),
+/// so the result is always reliable.
+double largest_eigenvalue_psd(const DenseMatrix& a,
+                              const PowerIterationOptions& options = {});
+
+/// Returns all eigenvalues of a symmetric matrix in ascending order using
+/// the cyclic Jacobi method (no eigenvectors).
+std::vector<double> jacobi_eigenvalues(DenseMatrix a,
+                                       double tolerance = 1e-14,
+                                       std::size_t max_sweeps = 64);
+
+/// Returns the largest singular value of an arbitrary dense matrix
+/// (sqrt of the largest eigenvalue of AᵀA or AAᵀ, whichever is smaller).
+double largest_singular_value(const DenseMatrix& a);
+
+/// Returns the smallest *nonzero* singular value of a dense matrix —
+/// used by λ-selection (the paper sets λ = 100·σ_min).  Values below
+/// rank_tol · σ_max are treated as zero.
+double smallest_nonzero_singular_value(const DenseMatrix& a,
+                                       double rank_tol = 1e-10);
+
+}  // namespace sa::la

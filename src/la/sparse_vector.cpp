@@ -1,0 +1,78 @@
+#include "la/sparse_vector.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sa::la {
+
+void SparseVector::validate() const {
+  SA_CHECK(indices.size() == values.size(),
+           "SparseVector: indices/values size mismatch");
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    SA_CHECK(indices[k] < dim, "SparseVector: index out of range");
+    if (k > 0)
+      SA_CHECK(indices[k - 1] < indices[k],
+               "SparseVector: indices must be strictly increasing");
+  }
+}
+
+double dot(const SparseVector& a, const SparseVector& b) {
+  double acc = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.indices.size() && j < b.indices.size()) {
+    const std::size_t ai = a.indices[i];
+    const std::size_t bj = b.indices[j];
+    if (ai == bj) {
+      acc += a.values[i] * b.values[j];
+      ++i;
+      ++j;
+    } else if (ai < bj) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double dot(const SparseVector& a, std::span<const double> x) {
+  SA_CHECK(x.size() == a.dim, "sparse-dense dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.indices.size(); ++k)
+    acc += a.values[k] * x[a.indices[k]];
+  return acc;
+}
+
+void axpy(double alpha, const SparseVector& a, std::span<double> y) {
+  SA_CHECK(y.size() == a.dim, "sparse axpy: length mismatch");
+  for (std::size_t k = 0; k < a.indices.size(); ++k)
+    y[a.indices[k]] += alpha * a.values[k];
+}
+
+double nrm2_squared(const SparseVector& a) {
+  double acc = 0.0;
+  for (double v : a.values) acc += v * v;
+  return acc;
+}
+
+std::vector<double> to_dense(const SparseVector& a) {
+  std::vector<double> out(a.dim, 0.0);
+  for (std::size_t k = 0; k < a.indices.size(); ++k)
+    out[a.indices[k]] = a.values[k];
+  return out;
+}
+
+SparseVector from_dense(std::span<const double> x, double drop_tol) {
+  SparseVector out;
+  out.dim = x.size();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) > drop_tol) {
+      out.indices.push_back(i);
+      out.values.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sa::la

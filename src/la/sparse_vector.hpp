@@ -1,0 +1,46 @@
+// Sorted sparse vector and its kernels.
+//
+// SparseVector is the unit of work for the coordinate-descent solvers: a
+// sampled column of A (Lasso, row-partitioned) or a sampled row of A
+// (SVM, column-partitioned), restricted to the entries a rank owns.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sa::la {
+
+/// A sparse vector with strictly increasing indices.
+struct SparseVector {
+  std::size_t dim = 0;               ///< Logical length of the vector.
+  std::vector<std::size_t> indices;  ///< Positions of the nonzeros (sorted).
+  std::vector<double> values;        ///< Nonzero values, parallel to indices.
+
+  std::size_t nnz() const { return indices.size(); }
+
+  /// Validates the invariants (sorted unique indices within [0, dim)).
+  /// Throws sa::PreconditionError on violation.
+  void validate() const;
+};
+
+/// Returns the dot product of two sparse vectors via a two-pointer merge.
+double dot(const SparseVector& a, const SparseVector& b);
+
+/// Returns the dot product of a sparse vector with a dense span.
+double dot(const SparseVector& a, std::span<const double> x);
+
+/// y := y + alpha * a  scattered into a dense span of length a.dim.
+void axpy(double alpha, const SparseVector& a, std::span<double> y);
+
+/// Returns ||a||_2^2.
+double nrm2_squared(const SparseVector& a);
+
+/// Densifies into a length-dim vector.
+std::vector<double> to_dense(const SparseVector& a);
+
+/// Builds a sparse vector from a dense span, keeping entries with
+/// |value| > drop_tol.
+SparseVector from_dense(std::span<const double> x, double drop_tol = 0.0);
+
+}  // namespace sa::la

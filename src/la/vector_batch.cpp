@@ -1,0 +1,154 @@
+#include "la/vector_batch.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::la {
+
+VectorBatch VectorBatch::dense(DenseMatrix vectors_as_rows) {
+  VectorBatch b;
+  b.storage_ = Storage::kDense;
+  b.dim_ = vectors_as_rows.cols();
+  b.dense_ = std::move(vectors_as_rows);
+  return b;
+}
+
+VectorBatch VectorBatch::sparse(std::vector<SparseVector> vectors,
+                                std::size_t dim) {
+  for (const SparseVector& v : vectors) {
+    SA_CHECK(v.dim == dim, "VectorBatch::sparse: inconsistent vector length");
+  }
+  VectorBatch b;
+  b.storage_ = Storage::kSparse;
+  b.dim_ = dim;
+  b.sparse_ = std::move(vectors);
+  return b;
+}
+
+std::size_t VectorBatch::size() const {
+  return is_dense() ? dense_.rows() : sparse_.size();
+}
+
+std::size_t VectorBatch::dim() const { return dim_; }
+
+std::size_t VectorBatch::nnz() const {
+  if (is_dense()) return dense_.rows() * dense_.cols();
+  std::size_t total = 0;
+  for (const SparseVector& v : sparse_) total += v.nnz();
+  return total;
+}
+
+DenseMatrix VectorBatch::gram(double diag_shift) const {
+  const std::size_t k = size();
+  DenseMatrix g(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      g(i, j) = dot_pair(i, j);
+      if (i == j) g(i, j) += diag_shift;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j) g(j, i) = g(i, j);
+  return g;
+}
+
+std::vector<double> VectorBatch::dot_all(std::span<const double> x) const {
+  SA_CHECK(x.size() == dim_, "dot_all: length mismatch");
+  const std::size_t k = size();
+  std::vector<double> out(k);
+  if (is_dense()) {
+    for (std::size_t i = 0; i < k; ++i) out[i] = la::dot(dense_.row(i), x);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) out[i] = la::dot(sparse_[i], x);
+  }
+  return out;
+}
+
+void VectorBatch::add_scaled_to(std::size_t i, double alpha,
+                                std::span<double> target) const {
+  SA_CHECK(i < size(), "add_scaled_to: index out of range");
+  SA_CHECK(target.size() == dim_, "add_scaled_to: length mismatch");
+  if (is_dense()) {
+    la::axpy(alpha, dense_.row(i), target);
+  } else {
+    la::axpy(alpha, sparse_[i], target);
+  }
+}
+
+double VectorBatch::dot_pair(std::size_t i, std::size_t j) const {
+  SA_CHECK(i < size() && j < size(), "dot_pair: index out of range");
+  if (is_dense()) return la::dot(dense_.row(i), dense_.row(j));
+  return la::dot(sparse_[i], sparse_[j]);
+}
+
+double VectorBatch::norm_squared(std::size_t i) const {
+  SA_CHECK(i < size(), "norm_squared: index out of range");
+  if (is_dense()) return la::nrm2_squared(dense_.row(i));
+  return la::nrm2_squared(sparse_[i]);
+}
+
+std::vector<double> VectorBatch::to_dense_vector(std::size_t i) const {
+  SA_CHECK(i < size(), "to_dense_vector: index out of range");
+  if (is_dense()) {
+    auto r = dense_.row(i);
+    return std::vector<double>(r.begin(), r.end());
+  }
+  return la::to_dense(sparse_[i]);
+}
+
+SparseVector VectorBatch::sparse_member(std::size_t i) const {
+  SA_CHECK(i < size(), "sparse_member: index out of range");
+  if (!is_dense()) return sparse_[i];
+  return from_dense(dense_.row(i));
+}
+
+std::size_t VectorBatch::member_nnz(std::size_t i) const {
+  SA_CHECK(i < size(), "member_nnz: index out of range");
+  return is_dense() ? dim_ : sparse_[i].nnz();
+}
+
+std::size_t VectorBatch::gram_flops() const {
+  const std::size_t k = size();
+  if (is_dense()) return k * (k + 1) * dim_;  // 2·dim per pair, k(k+1)/2 pairs
+  std::size_t flops = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i; j < k; ++j)
+      flops += 2 * std::min(sparse_[i].nnz(), sparse_[j].nnz());
+  return flops;
+}
+
+std::size_t VectorBatch::dot_all_flops() const { return 2 * nnz(); }
+
+VectorBatch concat(const std::vector<VectorBatch>& batches) {
+  SA_CHECK(!batches.empty(), "concat: empty batch list");
+  const std::size_t dim = batches.front().dim();
+  const bool dense = batches.front().is_dense();
+  std::size_t total = 0;
+  for (const VectorBatch& b : batches) {
+    SA_CHECK(b.dim() == dim, "concat: dim mismatch");
+    SA_CHECK(b.is_dense() == dense, "concat: mixed storage kinds");
+    total += b.size();
+  }
+  if (dense) {
+    DenseMatrix all(total, dim);
+    std::size_t r = 0;
+    for (const VectorBatch& b : batches) {
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        auto v = b.to_dense_vector(i);
+        la::copy(v, all.row(r++));
+      }
+    }
+    return VectorBatch::dense(std::move(all));
+  }
+  std::vector<SparseVector> all;
+  all.reserve(total);
+  for (const VectorBatch& b : batches) {
+    for (std::size_t i = 0; i < b.size(); ++i)
+      all.push_back(b.sparse_member(i));
+  }
+  return VectorBatch::sparse(std::move(all), dim);
+}
+
+}  // namespace sa::la

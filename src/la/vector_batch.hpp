@@ -1,0 +1,88 @@
+// A batch of equal-length vectors with Gram and multi-dot kernels.
+//
+// This is the central data structure of the synchronization-avoiding
+// methods: the s·µ sampled columns (Lasso) or the s sampled rows (SVM)
+// collected for one outer iteration.  A batch stores its vectors either
+// densely (one matrix row per vector — the BLAS-3 path the paper credits
+// for cache-efficiency gains) or sparsely (merge-based dots for very
+// sparse data such as the url/news20 twins).
+//
+// All kernels report the number of floating-point operations they perform
+// so the distributed solvers can meter work for the α-β-γ cost model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/sparse_vector.hpp"
+
+namespace sa::la {
+
+/// Batch of k vectors, each of logical length dim().
+class VectorBatch {
+ public:
+  VectorBatch() = default;
+
+  /// Builds a dense batch; each row of `vectors_as_rows` is one vector.
+  static VectorBatch dense(DenseMatrix vectors_as_rows);
+
+  /// Builds a sparse batch; every vector must have length `dim`.
+  static VectorBatch sparse(std::vector<SparseVector> vectors,
+                            std::size_t dim);
+
+  std::size_t size() const;  ///< Number of vectors k.
+  std::size_t dim() const;   ///< Length of each vector.
+  bool is_dense() const { return storage_ == Storage::kDense; }
+
+  /// Total nonzeros across the batch (k*dim for dense batches).
+  std::size_t nnz() const;
+
+  /// Returns the k×k Gram matrix  G = V V' (+ diag_shift · I).
+  /// Only the upper triangle is computed; the result is symmetrised.
+  DenseMatrix gram(double diag_shift = 0.0) const;
+
+  /// Returns the vector of dot products  [v_0·x, …, v_{k-1}·x].
+  std::vector<double> dot_all(std::span<const double> x) const;
+
+  /// target := target + alpha * v_i   (scatter for sparse batches).
+  void add_scaled_to(std::size_t i, double alpha,
+                     std::span<double> target) const;
+
+  /// Dot product of two members of the batch.
+  double dot_pair(std::size_t i, std::size_t j) const;
+
+  /// Squared norm of member i (== dot_pair(i, i)).
+  double norm_squared(std::size_t i) const;
+
+  /// Returns member i densified to length dim().
+  std::vector<double> to_dense_vector(std::size_t i) const;
+
+  /// Returns member i as a sparse vector (converts for dense batches).
+  SparseVector sparse_member(std::size_t i) const;
+
+  /// Nonzeros of member i (dim() for dense batches).  O(1).
+  std::size_t member_nnz(std::size_t i) const;
+
+  /// Flops performed by gram(): 2·(work per pair) summed over the upper
+  /// triangle.  Deterministic, used by the cost model.
+  std::size_t gram_flops() const;
+
+  /// Flops performed by one dot_all() call.
+  std::size_t dot_all_flops() const;
+
+ private:
+  enum class Storage { kDense, kSparse };
+  Storage storage_ = Storage::kDense;
+
+  DenseMatrix dense_;                 // k × dim when dense
+  std::vector<SparseVector> sparse_;  // k entries when sparse
+  std::size_t dim_ = 0;
+};
+
+/// Concatenates several batches (same dim, same storage kind) into one —
+/// used to form the s·µ-column batch from s per-iteration µ-column batches.
+VectorBatch concat(const std::vector<VectorBatch>& batches);
+
+}  // namespace sa::la

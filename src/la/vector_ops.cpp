@@ -1,0 +1,78 @@
+#include "la/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sa::la {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  SA_CHECK(x.size() == y.size(), "dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SA_CHECK(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(nrm2_squared(x)); }
+
+double nrm2_squared(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double asum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double inf_norm(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  SA_CHECK(src.size() == dst.size(), "copy: length mismatch");
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void fill(std::span<double> x, double value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double max_rel_diff(std::span<const double> x, std::span<const double> y) {
+  SA_CHECK(x.size() == y.size(), "max_rel_diff: length mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double denom =
+        std::max({1.0, std::abs(x[i]), std::abs(y[i])});
+    worst = std::max(worst, std::abs(x[i] - y[i]) / denom);
+  }
+  return worst;
+}
+
+std::vector<double> zeros(std::size_t n) { return std::vector<double>(n, 0.0); }
+
+std::vector<double> constant(std::size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+}  // namespace sa::la

@@ -1,0 +1,236 @@
+// Distributed-consistency integration tests: a P-rank run through the
+// thread communicator must produce exactly the P = 1 result, for every
+// solver family — the property that makes the thread runtime a faithful
+// stand-in for the paper's MPI implementation.
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cd_lasso.hpp"
+#include "core/group_lasso.hpp"
+#include "core/sa_lasso.hpp"
+#include "core/sa_svm.hpp"
+#include "core/svm.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+namespace {
+
+data::Dataset regression_problem() {
+  data::RegressionConfig cfg;
+  cfg.num_points = 70;
+  cfg.num_features = 30;
+  cfg.density = 0.4;
+  cfg.support_size = 5;
+  cfg.seed = 42;
+  return data::make_regression(cfg).dataset;
+}
+
+data::Dataset classification_problem() {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 60;
+  cfg.num_features = 40;
+  cfg.density = 0.4;
+  cfg.seed = 42;
+  return data::make_classification(cfg);
+}
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, LassoMatchesSerialExactly) {
+  const int p = GetParam();
+  const data::Dataset d = regression_problem();
+  LassoOptions opt;
+  opt.lambda = 0.05;
+  opt.block_size = 3;
+  opt.accelerated = true;
+  opt.max_iterations = 60;
+
+  const LassoResult serial = solve_lasso_serial(d, opt);
+
+  const data::Partition rows = data::Partition::block(d.num_points(), p);
+  std::vector<std::vector<double>> per_rank(p);
+  std::mutex mu;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    const LassoResult r = solve_lasso(comm, d, rows, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = r.x;
+  });
+
+  for (int r = 0; r < p; ++r) {
+    // Distributed dots sum per-rank partials in fixed order; agreement with
+    // the serial sum is to rounding, and the result is identical on all
+    // ranks (replicated arithmetic).
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r]), 1e-10) << "rank " << r;
+    EXPECT_EQ(per_rank[r], per_rank[0]);
+  }
+}
+
+TEST_P(RankSweep, SaLassoMatchesSerialExactly) {
+  const int p = GetParam();
+  const data::Dataset d = regression_problem();
+  SaLassoOptions opt;
+  opt.base.lambda = 0.05;
+  opt.base.block_size = 2;
+  opt.base.accelerated = true;
+  opt.base.max_iterations = 48;
+  opt.s = 6;
+
+  const LassoResult serial = solve_sa_lasso_serial(d, opt);
+  const data::Partition rows = data::Partition::block(d.num_points(), p);
+  std::vector<std::vector<double>> per_rank(p);
+  std::mutex mu;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    const LassoResult r = solve_sa_lasso(comm, d, rows, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = r.x;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r]), 1e-10) << "rank " << r;
+}
+
+TEST_P(RankSweep, SvmMatchesSerialExactly) {
+  const int p = GetParam();
+  const data::Dataset d = classification_problem();
+  SvmOptions opt;
+  opt.lambda = 1.0;
+  opt.max_iterations = 150;
+
+  const SvmResult serial = solve_svm_serial(d, opt);
+  const data::Partition cols = data::Partition::block(d.num_features(), p);
+  std::vector<SvmResult> per_rank(p);
+  std::mutex mu;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    SvmResult r = solve_svm(comm, d, cols, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = std::move(r);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_LT(la::max_rel_diff(serial.alpha, per_rank[r].alpha), 1e-10);
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r].x), 1e-10);
+  }
+}
+
+TEST_P(RankSweep, SaSvmMatchesSerialExactly) {
+  const int p = GetParam();
+  const data::Dataset d = classification_problem();
+  SaSvmOptions opt;
+  opt.base.lambda = 1.0;
+  opt.base.loss = SvmLoss::kL2;
+  opt.base.max_iterations = 120;
+  opt.s = 10;
+
+  const SvmResult serial = solve_sa_svm_serial(d, opt);
+  const data::Partition cols = data::Partition::block(d.num_features(), p);
+  std::vector<SvmResult> per_rank(p);
+  std::mutex mu;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    SvmResult r = solve_sa_svm(comm, d, cols, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = std::move(r);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_LT(la::max_rel_diff(serial.alpha, per_rank[r].alpha), 1e-10);
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r].x), 1e-10);
+  }
+}
+
+TEST_P(RankSweep, GroupLassoMatchesSerialExactly) {
+  const int p = GetParam();
+  const data::Dataset d = regression_problem();
+  GroupLassoOptions opt;
+  opt.lambda = 0.1;
+  opt.groups = GroupStructure::uniform(d.num_features(), 5);
+  opt.max_iterations = 80;
+
+  const LassoResult serial = solve_group_lasso_serial(d, opt);
+  const data::Partition rows = data::Partition::block(d.num_points(), p);
+  std::vector<std::vector<double>> per_rank(p);
+  std::mutex mu;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    const LassoResult r = solve_group_lasso(comm, d, rows, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = r.x;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r]), 1e-10) << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RankSweep, ::testing::Values(2, 3, 4, 8));
+
+TEST(DistributedTrace, ObjectiveEvaluationDoesNotPolluteMetering) {
+  const data::Dataset d = regression_problem();
+  LassoOptions with_trace;
+  with_trace.lambda = 0.05;
+  with_trace.max_iterations = 32;
+  with_trace.trace_every = 4;
+  LassoOptions no_trace = with_trace;
+  no_trace.trace_every = 0;
+
+  const data::Partition rows = data::Partition::block(d.num_points(), 4);
+  dist::CommStats traced, untraced;
+  {
+    const auto stats =
+        dist::run_distributed(4, [&](dist::Communicator& comm) {
+          solve_lasso(comm, d, rows, with_trace);
+        });
+    traced = stats[0];
+  }
+  {
+    const auto stats =
+        dist::run_distributed(4, [&](dist::Communicator& comm) {
+          solve_lasso(comm, d, rows, no_trace);
+        });
+    untraced = stats[0];
+  }
+  EXPECT_EQ(traced.messages, untraced.messages);
+  EXPECT_EQ(traced.words, untraced.words);
+  EXPECT_EQ(traced.collectives, untraced.collectives);
+}
+
+TEST(DistributedLoadImbalance, UnevenPartitionStillCorrect) {
+  // Deliberately skewed partition: rank 0 owns almost everything.
+  const data::Dataset d = regression_problem();
+  LassoOptions opt;
+  opt.lambda = 0.05;
+  opt.max_iterations = 40;
+  const LassoResult serial = solve_lasso_serial(d, opt);
+
+  const data::Partition rows({0, 60, 65, 70});
+  std::vector<std::vector<double>> per_rank(3);
+  std::mutex mu;
+  dist::run_distributed(3, [&](dist::Communicator& comm) {
+    const LassoResult r = solve_lasso(comm, d, rows, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = r.x;
+  });
+  for (int r = 0; r < 3; ++r)
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r]), 1e-10);
+}
+
+TEST(DistributedLoadImbalance, EmptyRankBlocksSupported) {
+  // More ranks than useful work on some blocks: a rank may own zero rows.
+  const data::Dataset d = regression_problem();
+  LassoOptions opt;
+  opt.lambda = 0.05;
+  opt.max_iterations = 30;
+  const LassoResult serial = solve_lasso_serial(d, opt);
+
+  const data::Partition rows({0, 70, 70, 70});  // ranks 1,2 empty
+  std::vector<std::vector<double>> per_rank(3);
+  std::mutex mu;
+  dist::run_distributed(3, [&](dist::Communicator& comm) {
+    const LassoResult r = solve_lasso(comm, d, rows, opt);
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = r.x;
+  });
+  for (int r = 0; r < 3; ++r)
+    EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r]), 1e-10);
+}
+
+}  // namespace
+}  // namespace sa::core

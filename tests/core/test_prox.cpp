@@ -1,0 +1,159 @@
+// Tests for the proximal operators.
+#include "core/prox.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+namespace {
+
+TEST(SoftThreshold, ZeroInsideDeadZone) {
+  EXPECT_DOUBLE_EQ(soft_threshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(1.0, 1.0), 0.0);  // boundary maps to 0
+}
+
+TEST(SoftThreshold, ShrinksTowardZeroOutside) {
+  EXPECT_DOUBLE_EQ(soft_threshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-3.0, 1.0), -2.0);
+}
+
+TEST(SoftThreshold, ZeroThresholdIsIdentity) {
+  EXPECT_DOUBLE_EQ(soft_threshold(1.25, 0.0), 1.25);
+  EXPECT_DOUBLE_EQ(soft_threshold(-7.0, 0.0), -7.0);
+}
+
+TEST(SoftThreshold, PreservesSign) {
+  for (double beta : {-10.0, -2.0, 2.0, 10.0}) {
+    const double out = soft_threshold(beta, 0.5);
+    EXPECT_TRUE(out == 0.0 || std::signbit(out) == std::signbit(beta));
+  }
+}
+
+TEST(SoftThreshold, IsNonExpansive) {
+  // |S(a) − S(b)| ≤ |a − b| — the defining property of a prox operator.
+  const double alpha = 0.7;
+  for (double a : {-3.0, -0.5, 0.0, 0.9, 4.0}) {
+    for (double b : {-2.0, 0.1, 1.5}) {
+      EXPECT_LE(std::abs(soft_threshold(a, alpha) - soft_threshold(b, alpha)),
+                std::abs(a - b) + 1e-15);
+    }
+  }
+}
+
+TEST(SoftThreshold, VectorFormAppliesElementwise) {
+  std::vector<double> v{3.0, -0.5, 0.0, -4.0};
+  soft_threshold(v, 1.0);
+  EXPECT_EQ(v, (std::vector<double>{2.0, 0.0, 0.0, -3.0}));
+}
+
+TEST(ElasticNetProx, ReducesToSoftThresholdWithoutL2) {
+  for (double v : {-2.0, 0.3, 5.0}) {
+    EXPECT_DOUBLE_EQ(elastic_net_prox(v, 0.5, 1.0, 0.0),
+                     soft_threshold(v, 0.5));
+  }
+}
+
+TEST(ElasticNetProx, L2TermShrinksMultiplicatively) {
+  // With l1 = 0 the prox is v / (1 + 2·eta·l2).
+  EXPECT_DOUBLE_EQ(elastic_net_prox(3.0, 1.0, 0.0, 0.5), 1.5);
+}
+
+TEST(ElasticNetProx, CombinedShrinkage) {
+  // S_{0.5}(2) = 1.5, then / (1 + 2·0.5·1) = 0.75.
+  EXPECT_DOUBLE_EQ(elastic_net_prox(2.0, 0.5, 1.0, 1.0), 0.75);
+}
+
+TEST(ElasticNetProx, VectorForm) {
+  std::vector<double> v{2.0, -2.0};
+  elastic_net_prox(v, 0.5, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.75);
+  EXPECT_DOUBLE_EQ(v[1], -0.75);
+}
+
+TEST(GroupSoftThreshold, ZeroesSmallGroups) {
+  std::vector<double> v{0.3, 0.4};  // norm 0.5
+  group_soft_threshold(v, 0.6);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(GroupSoftThreshold, ShrinksNormPreservingDirection) {
+  std::vector<double> v{3.0, 4.0};  // norm 5
+  group_soft_threshold(v, 1.0);
+  EXPECT_NEAR(la::nrm2(v), 4.0, 1e-12);
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-12);  // direction preserved
+}
+
+TEST(GroupSoftThreshold, ZeroVectorStaysZero) {
+  std::vector<double> v{0.0, 0.0};
+  group_soft_threshold(v, 0.5);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(GroupStructure, UniformCoversRange) {
+  const GroupStructure g = GroupStructure::uniform(10, 3);
+  EXPECT_EQ(g.num_groups(), 4u);  // 3+3+3+1
+  EXPECT_EQ(g.offsets.front(), 0u);
+  EXPECT_EQ(g.offsets.back(), 10u);
+}
+
+TEST(GroupStructure, ExactDivision) {
+  const GroupStructure g = GroupStructure::uniform(9, 3);
+  EXPECT_EQ(g.num_groups(), 3u);
+}
+
+TEST(GroupStructure, EmptyFeatureSpace) {
+  const GroupStructure g = GroupStructure::uniform(0, 3);
+  EXPECT_EQ(g.num_groups(), 1u);
+  EXPECT_EQ(g.offsets.back(), 0u);
+}
+
+TEST(GroupStructure, RejectsZeroGroupSize) {
+  EXPECT_THROW(GroupStructure::uniform(5, 0), sa::PreconditionError);
+}
+
+TEST(GroupLassoProx, AppliesPerGroup) {
+  // Group 1 (norm 5) shrinks by 1; group 2 (norm 0.5) dies.
+  std::vector<double> x{3.0, 4.0, 0.3, 0.4};
+  group_lasso_prox(x, 1.0, GroupStructure::uniform(4, 2));
+  EXPECT_NEAR(x[0], 2.4, 1e-12);
+  EXPECT_NEAR(x[1], 3.2, 1e-12);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+  EXPECT_DOUBLE_EQ(x[3], 0.0);
+}
+
+TEST(GroupLassoProx, RejectsNonCoveringGroups) {
+  std::vector<double> x(5, 1.0);
+  EXPECT_THROW(group_lasso_prox(x, 1.0, GroupStructure::uniform(4, 2)),
+               sa::PreconditionError);
+}
+
+/// Prox property sweep: soft-thresholding solves
+///   argmin_u ½(u−v)² + α|u|
+/// so the objective at S_α(v) must not exceed the objective at any probe.
+class SoftThresholdOptimality : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftThresholdOptimality, MinimizesProxObjective) {
+  const double v = GetParam();
+  const double alpha = 0.8;
+  const double star = soft_threshold(v, alpha);
+  const auto objective = [&](double u) {
+    return 0.5 * (u - v) * (u - v) + alpha * std::abs(u);
+  };
+  for (double probe = -6.0; probe <= 6.0; probe += 0.01)
+    EXPECT_LE(objective(star), objective(probe) + 1e-12) << "v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SoftThresholdOptimality,
+                         ::testing::Values(-5.0, -1.0, -0.3, 0.0, 0.3, 1.0,
+                                           5.0));
+
+}  // namespace
+}  // namespace sa::core

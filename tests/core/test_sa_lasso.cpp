@@ -1,0 +1,282 @@
+// The central invariant of the paper: SA variants (Algorithm 2) produce
+// the SAME iterate sequence as the standard methods (Algorithm 1) up to
+// floating-point rearrangement error (paper §III and Table III).
+#include "core/sa_lasso.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/cd_lasso.hpp"
+#include "core/objective.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+namespace {
+
+data::Dataset make_problem(std::size_t m, std::size_t n, double density,
+                           std::uint64_t seed) {
+  data::RegressionConfig cfg;
+  cfg.num_points = m;
+  cfg.num_features = n;
+  cfg.density = density;
+  cfg.support_size = std::max<std::size_t>(1, n / 6);
+  cfg.noise_sigma = 0.02;
+  cfg.seed = seed;
+  return data::make_regression(cfg).dataset;
+}
+
+/// Tolerance for SA-vs-non-SA agreement.  The paper reports final relative
+/// objective errors at machine precision (~1e-16); iterate-level agreement
+/// accumulates rounding over H iterations, so we allow a small multiple.
+constexpr double kIterateTol = 1e-9;
+
+struct EquivalenceCase {
+  std::size_t mu;     // block size µ
+  std::size_t s;      // unrolling depth
+  bool accelerated;
+  double density;
+};
+
+void PrintTo(const EquivalenceCase& c, std::ostream* os) {
+  *os << (c.accelerated ? "acc" : "plain") << "_mu" << c.mu << "_s" << c.s
+      << "_d" << c.density;
+}
+
+class SaEquivalenceSweep : public ::testing::TestWithParam<EquivalenceCase> {
+};
+
+TEST_P(SaEquivalenceSweep, FinalIterateMatchesNonSa) {
+  const EquivalenceCase c = GetParam();
+  const data::Dataset d = make_problem(48, 30, c.density, 21);
+
+  LassoOptions base;
+  base.lambda = 0.05;
+  base.block_size = c.mu;
+  base.accelerated = c.accelerated;
+  base.max_iterations = 120;
+  base.seed = 99;
+
+  const LassoResult ref = solve_lasso_serial(d, base);
+
+  SaLassoOptions sa;
+  sa.base = base;
+  sa.s = c.s;
+  const LassoResult got = solve_sa_lasso_serial(d, sa);
+
+  EXPECT_LT(la::max_rel_diff(ref.x, got.x), kIterateTol);
+}
+
+TEST_P(SaEquivalenceSweep, FinalObjectiveAtMachinePrecision) {
+  // The paper's Table III criterion: |f_nonSA − f_SA| / f_nonSA ≈ ε.
+  const EquivalenceCase c = GetParam();
+  const data::Dataset d = make_problem(40, 24, c.density, 5);
+
+  LassoOptions base;
+  base.lambda = 0.1;
+  base.block_size = c.mu;
+  base.accelerated = c.accelerated;
+  base.max_iterations = 150;
+  base.seed = 3;
+  base.trace_every = 150;
+
+  const double f_ref = solve_lasso_serial(d, base).trace.final_objective();
+  SaLassoOptions sa;
+  sa.base = base;
+  sa.s = c.s;
+  const double f_sa = solve_sa_lasso_serial(d, sa).trace.final_objective();
+  EXPECT_LT(relative_objective_error(f_ref, f_sa), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MuSCross, SaEquivalenceSweep,
+    ::testing::Values(
+        // Plain CD/BCD, sparse data
+        EquivalenceCase{1, 2, false, 0.3},
+        EquivalenceCase{1, 8, false, 0.3},
+        EquivalenceCase{4, 3, false, 0.3},
+        EquivalenceCase{8, 5, false, 0.3},
+        // Plain, dense data (dense VectorBatch path)
+        EquivalenceCase{1, 4, false, 1.0},
+        EquivalenceCase{4, 8, false, 1.0},
+        // Accelerated, sparse
+        EquivalenceCase{1, 2, true, 0.3},
+        EquivalenceCase{1, 16, true, 0.3},
+        EquivalenceCase{4, 4, true, 0.3},
+        EquivalenceCase{8, 8, true, 0.3},
+        // Accelerated, dense
+        EquivalenceCase{2, 6, true, 1.0},
+        EquivalenceCase{8, 2, true, 1.0}));
+
+TEST(SaLasso, SEqualsOneMatchesNonSaTightly) {
+  // s = 1 performs the identical computation schedule; agreement should be
+  // essentially exact.
+  const data::Dataset d = make_problem(30, 20, 0.5, 17);
+  LassoOptions base;
+  base.lambda = 0.05;
+  base.block_size = 2;
+  base.accelerated = true;
+  base.max_iterations = 80;
+  const LassoResult ref = solve_lasso_serial(d, base);
+  SaLassoOptions sa;
+  sa.base = base;
+  sa.s = 1;
+  const LassoResult got = solve_sa_lasso_serial(d, sa);
+  EXPECT_LT(la::max_rel_diff(ref.x, got.x), 1e-13);
+}
+
+TEST(SaLasso, HugeSMatchesToo) {
+  // The paper demonstrates s = 1000 numerical stability (Figure 2); here a
+  // single outer iteration covers the whole run.
+  const data::Dataset d = make_problem(36, 18, 0.4, 29);
+  LassoOptions base;
+  base.lambda = 0.08;
+  base.block_size = 1;
+  base.accelerated = true;
+  base.max_iterations = 100;
+  const LassoResult ref = solve_lasso_serial(d, base);
+  SaLassoOptions sa;
+  sa.base = base;
+  sa.s = 1000;  // > H: single outer iteration, tail-truncated
+  const LassoResult got = solve_sa_lasso_serial(d, sa);
+  EXPECT_LT(la::max_rel_diff(ref.x, got.x), 1e-9);
+}
+
+TEST(SaLasso, TailIterationsHandledWhenHNotDivisibleByS) {
+  const data::Dataset d = make_problem(30, 15, 0.6, 31);
+  LassoOptions base;
+  base.lambda = 0.05;
+  base.block_size = 2;
+  base.accelerated = false;
+  base.max_iterations = 103;  // 103 = 12·8 + 7
+  const LassoResult ref = solve_lasso_serial(d, base);
+  SaLassoOptions sa;
+  sa.base = base;
+  sa.s = 8;
+  const LassoResult got = solve_sa_lasso_serial(d, sa);
+  EXPECT_EQ(got.trace.iterations_run, 103u);
+  EXPECT_LT(la::max_rel_diff(ref.x, got.x), kIterateTol);
+}
+
+TEST(SaLasso, ElasticNetPenaltyEquivalence) {
+  const data::Dataset d = make_problem(40, 22, 0.5, 41);
+  LassoOptions base;
+  base.penalty = Penalty::kElasticNet;
+  base.lambda = 0.1;
+  base.elastic_net_l1 = 0.6;
+  base.elastic_net_l2 = 0.4;
+  base.block_size = 3;
+  base.accelerated = true;
+  base.max_iterations = 90;
+  const LassoResult ref = solve_lasso_serial(d, base);
+  SaLassoOptions sa;
+  sa.base = base;
+  sa.s = 6;
+  const LassoResult got = solve_sa_lasso_serial(d, sa);
+  EXPECT_LT(la::max_rel_diff(ref.x, got.x), kIterateTol);
+}
+
+TEST(SaLasso, CommunicationRoundsReducedByFactorS) {
+  // The headline claim: L drops by s while W grows.  Verify on the metered
+  // counters of a 4-rank run.
+  const data::Dataset d = make_problem(64, 24, 0.4, 55);
+  LassoOptions base;
+  base.lambda = 0.05;
+  base.block_size = 2;
+  base.accelerated = true;
+  base.max_iterations = 64;
+
+  const int ranks = 4;
+  const data::Partition rows = data::Partition::block(d.num_points(), ranks);
+
+  dist::CommStats ref_stats, sa_stats;
+  {
+    const auto stats = dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+      solve_lasso(comm, d, rows, base);
+    });
+    ref_stats = stats[0];
+  }
+  {
+    SaLassoOptions sa;
+    sa.base = base;
+    sa.s = 8;
+    const auto stats = dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+      solve_sa_lasso(comm, d, rows, sa);
+    });
+    sa_stats = stats[0];
+  }
+  // Latency: exactly H vs H/s collectives, log2(P) rounds each — the
+  // paper's Table I contrast O(H log P) vs O((H/s) log P).
+  EXPECT_EQ(ref_stats.collectives, 64u);
+  EXPECT_EQ(sa_stats.collectives, 8u);
+  EXPECT_EQ(ref_stats.messages, 8u * sa_stats.messages);
+  EXPECT_GT(sa_stats.words, ref_stats.words);  // bandwidth traded away
+}
+
+TEST(SaLasso, RejectsZeroS) {
+  const data::Dataset d = make_problem(20, 10, 0.5, 1);
+  SaLassoOptions sa;
+  sa.s = 0;
+  EXPECT_THROW(solve_sa_lasso_serial(d, sa), sa::PreconditionError);
+}
+
+TEST(SaLasso, TraceAlignsToOuterBoundaries) {
+  const data::Dataset d = make_problem(30, 15, 0.5, 2);
+  SaLassoOptions sa;
+  sa.base.lambda = 0.05;
+  sa.base.max_iterations = 40;
+  sa.base.trace_every = 10;
+  sa.s = 4;
+  const LassoResult r = solve_sa_lasso_serial(d, sa);
+  ASSERT_GE(r.trace.points.size(), 2u);
+  for (const TracePoint& p : r.trace.points)
+    EXPECT_EQ(p.iteration % 4, 0u) << "trace points land on outer boundaries";
+}
+
+}  // namespace
+}  // namespace sa::core
+
+namespace sa::core {
+namespace {
+
+TEST(SaLasso, MetersReplicatedInnerLoopWork) {
+  // The SA inner loop runs redundantly on every rank: its cross-term
+  // corrections and eigenvalue solves must land in replicated_flops, not
+  // in the data-parallel flops counter.
+  const data::Dataset d = make_problem(40, 20, 0.5, 61);
+  SaLassoOptions sa;
+  sa.base.lambda = 0.05;
+  sa.base.block_size = 2;
+  sa.base.accelerated = true;
+  sa.base.max_iterations = 32;
+  sa.s = 8;
+  dist::SerialComm comm;
+  solve_sa_lasso(comm, d, data::Partition::block(d.num_points(), 1), sa);
+  EXPECT_GT(comm.stats().replicated_flops, 0u);
+  EXPECT_GT(comm.stats().flops, 0u);
+}
+
+TEST(SaLasso, ReplicatedWorkGrowsWithS) {
+  // Cross-term corrections cost O(s²µ²) per outer loop — the saturation
+  // mechanism for very large s.
+  const data::Dataset d = make_problem(40, 20, 0.5, 62);
+  std::size_t previous = 0;
+  for (std::size_t s : {2, 8, 32}) {
+    SaLassoOptions sa;
+    sa.base.lambda = 0.05;
+    sa.base.block_size = 2;
+    sa.base.accelerated = true;
+    sa.base.max_iterations = 64;
+    sa.s = s;
+    dist::SerialComm comm;
+    solve_sa_lasso(comm, d, data::Partition::block(d.num_points(), 1), sa);
+    EXPECT_GT(comm.stats().replicated_flops, previous);
+    previous = comm.stats().replicated_flops;
+  }
+}
+
+}  // namespace
+}  // namespace sa::core

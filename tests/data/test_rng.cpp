@@ -1,0 +1,133 @@
+// Tests for the deterministic RNG and the without-replacement sampler.
+#include "data/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace sa::data {
+namespace {
+
+TEST(SplitMix64, SameSeedSameSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SplitMix64, DoublesHaveReasonableMean) {
+  SplitMix64 rng(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(SplitMix64, NextBelowCoversAllResidues) {
+  SplitMix64 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(SplitMix64, NextBelowOneIsAlwaysZero) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(SplitMix64, NextBelowRejectsZeroBound) {
+  SplitMix64 rng(3);
+  EXPECT_THROW(rng.next_below(0), sa::PreconditionError);
+}
+
+TEST(SplitMix64, NormalsHaveUnitVarianceRoughly) {
+  SplitMix64 rng(21);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(CoordinateSampler, BlocksAreDistinctAndInRange) {
+  CoordinateSampler sampler(20, 6, 42);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<std::size_t> block = sampler.next();
+    ASSERT_EQ(block.size(), 6u);
+    std::set<std::size_t> unique(block.begin(), block.end());
+    EXPECT_EQ(unique.size(), 6u);
+    for (std::size_t i : block) EXPECT_LT(i, 20u);
+  }
+}
+
+TEST(CoordinateSampler, SameSeedReplicatesAcrossInstances) {
+  // The paper's communication-free sampling: every rank builds the same
+  // sampler and must draw identical index sequences.
+  CoordinateSampler a(100, 8, 7);
+  CoordinateSampler b(100, 8, 7);
+  for (int round = 0; round < 30; ++round) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CoordinateSampler, FullBlockIsPermutation) {
+  CoordinateSampler sampler(10, 10, 1);
+  const std::vector<std::size_t> block = sampler.next();
+  std::set<std::size_t> unique(block.begin(), block.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(CoordinateSampler, SingleCoordinateCoversRangeOverTime) {
+  CoordinateSampler sampler(8, 1, 3);
+  std::set<std::size_t> seen;
+  for (int round = 0; round < 200; ++round) seen.insert(sampler.next()[0]);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(CoordinateSampler, MarginalFrequenciesRoughlyUniform) {
+  const std::size_t n = 10, mu = 2;
+  CoordinateSampler sampler(n, mu, 17);
+  std::vector<int> counts(n, 0);
+  const int rounds = 20000;
+  for (int round = 0; round < rounds; ++round)
+    for (std::size_t i : sampler.next()) ++counts[i];
+  const double expected = rounds * static_cast<double>(mu) / n;
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(counts[i], expected, 0.06 * expected) << "coordinate " << i;
+}
+
+TEST(CoordinateSampler, RejectsInvalidArguments) {
+  EXPECT_THROW(CoordinateSampler(0, 1, 1), sa::PreconditionError);
+  EXPECT_THROW(CoordinateSampler(5, 0, 1), sa::PreconditionError);
+  EXPECT_THROW(CoordinateSampler(5, 6, 1), sa::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sa::data

@@ -1,0 +1,143 @@
+// Unit tests for the small symmetric eigensolvers.
+#include "la/eigen.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::la {
+namespace {
+
+TEST(PowerIteration, DiagonalMatrixLargestEntry) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 7.0;
+  a(2, 2) = 3.0;
+  EXPECT_NEAR(largest_eigenvalue_psd(a), 7.0, 1e-10);
+}
+
+TEST(PowerIteration, OneByOneFastPath) {
+  DenseMatrix a(1, 1);
+  a(0, 0) = 4.25;
+  EXPECT_DOUBLE_EQ(largest_eigenvalue_psd(a), 4.25);
+}
+
+TEST(PowerIteration, EmptyMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(largest_eigenvalue_psd(DenseMatrix()), 0.0);
+}
+
+TEST(PowerIteration, ZeroMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(largest_eigenvalue_psd(DenseMatrix(4, 4)), 0.0);
+}
+
+TEST(PowerIteration, RejectsNonSquare) {
+  EXPECT_THROW(largest_eigenvalue_psd(DenseMatrix(2, 3)), PreconditionError);
+}
+
+TEST(PowerIteration, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues {1, 3}.
+  DenseMatrix a(2, 2, {2.0, 1.0, 1.0, 2.0});
+  EXPECT_NEAR(largest_eigenvalue_psd(a), 3.0, 1e-10);
+}
+
+TEST(PowerIteration, HandlesClusteredEigenvaluesViaJacobiFallback) {
+  // Two nearly equal leading eigenvalues stall power iteration; the Jacobi
+  // fallback must still deliver the right answer.
+  DenseMatrix a(3, 3);
+  a(0, 0) = 5.0;
+  a(1, 1) = 5.0 - 1e-14;
+  a(2, 2) = 1.0;
+  PowerIterationOptions opts;
+  opts.max_iterations = 3;  // force the fallback path
+  EXPECT_NEAR(largest_eigenvalue_psd(a, opts), 5.0, 1e-9);
+}
+
+TEST(Jacobi, DiagonalMatrixSortedSpectrum) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const std::vector<double> eig = jacobi_eigenvalues(a);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwoSpectrum) {
+  DenseMatrix a(2, 2, {2.0, 1.0, 1.0, 2.0});
+  const std::vector<double> eig = jacobi_eigenvalues(a);
+  EXPECT_NEAR(eig[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, TraceAndFrobeniusInvariants) {
+  DenseMatrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      a(i, j) = 1.0 / (1.0 + static_cast<double>(i + j));  // Hilbert-like
+  const std::vector<double> eig = jacobi_eigenvalues(a);
+  double trace = 0.0, frob_sq = 0.0, eig_sum = 0.0, eig_sq = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    trace += a(i, i);
+    for (std::size_t j = 0; j < 4; ++j) frob_sq += a(i, j) * a(i, j);
+  }
+  for (double e : eig) {
+    eig_sum += e;
+    eig_sq += e * e;
+  }
+  EXPECT_NEAR(trace, eig_sum, 1e-10);
+  EXPECT_NEAR(frob_sq, eig_sq, 1e-10);
+}
+
+TEST(Jacobi, EmptyMatrixGivesEmptySpectrum) {
+  EXPECT_TRUE(jacobi_eigenvalues(DenseMatrix()).empty());
+}
+
+TEST(SingularValues, DiagonalRectangular) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 5.0;
+  EXPECT_NEAR(largest_singular_value(a), 5.0, 1e-10);
+  EXPECT_NEAR(smallest_nonzero_singular_value(a), 2.0, 1e-10);
+}
+
+TEST(SingularValues, RankDeficientIgnoresZeros) {
+  // Rank-1 matrix: single nonzero singular value ||u||·||v||.
+  DenseMatrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = 2.0;
+  EXPECT_NEAR(largest_singular_value(a), 6.0, 1e-9);
+  EXPECT_NEAR(smallest_nonzero_singular_value(a), 6.0, 1e-9);
+}
+
+TEST(SingularValues, EmptyMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(largest_singular_value(DenseMatrix()), 0.0);
+  EXPECT_DOUBLE_EQ(smallest_nonzero_singular_value(DenseMatrix()), 0.0);
+}
+
+/// Power iteration must agree with Jacobi's largest eigenvalue across a
+/// sweep of synthetic PSD matrices G = BᵀB of growing size.
+class EigenAgreementSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenAgreementSweep, PowerMatchesJacobi) {
+  const std::size_t n = GetParam();
+  DenseMatrix b(n + 2, n);
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      b(i, j) = std::sin(static_cast<double>(i * n + j + 1));
+  const DenseMatrix g = gram_upper(b);
+  const double power = largest_eigenvalue_psd(g);
+  const double jacobi = jacobi_eigenvalues(g).back();
+  EXPECT_NEAR(power, jacobi, 1e-8 * std::max(1.0, jacobi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenAgreementSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 24));
+
+}  // namespace
+}  // namespace sa::la

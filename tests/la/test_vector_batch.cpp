@@ -1,0 +1,177 @@
+// Unit tests for VectorBatch — the sampled-block container at the heart
+// of the synchronization-avoiding Gram computations.
+#include "la/vector_batch.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::la {
+namespace {
+
+VectorBatch make_dense_batch() {
+  // Three vectors of length 4, rows of the matrix.
+  DenseMatrix v(3, 4,
+                {1.0, 0.0, 2.0, 0.0,   //
+                 0.0, 3.0, 0.0, 1.0,   //
+                 1.0, 1.0, 1.0, 1.0});
+  return VectorBatch::dense(std::move(v));
+}
+
+VectorBatch make_sparse_batch() {
+  std::vector<SparseVector> vs;
+  vs.push_back({4, {0, 2}, {1.0, 2.0}});
+  vs.push_back({4, {1, 3}, {3.0, 1.0}});
+  vs.push_back({4, {0, 1, 2, 3}, {1.0, 1.0, 1.0, 1.0}});
+  return VectorBatch::sparse(std::move(vs), 4);
+}
+
+TEST(VectorBatch, SizesAndDims) {
+  EXPECT_EQ(make_dense_batch().size(), 3u);
+  EXPECT_EQ(make_dense_batch().dim(), 4u);
+  EXPECT_EQ(make_sparse_batch().size(), 3u);
+  EXPECT_EQ(make_sparse_batch().dim(), 4u);
+}
+
+TEST(VectorBatch, SparseRejectsInconsistentDims) {
+  std::vector<SparseVector> vs;
+  vs.push_back({3, {0}, {1.0}});
+  EXPECT_THROW(VectorBatch::sparse(std::move(vs), 4), PreconditionError);
+}
+
+TEST(VectorBatch, DenseAndSparseAgreeOnGram) {
+  const DenseMatrix g1 = make_dense_batch().gram();
+  const DenseMatrix g2 = make_sparse_batch().gram();
+  EXPECT_LT(g1.max_abs_diff(g2), 1e-15);
+}
+
+TEST(VectorBatch, GramIsSymmetricWithCorrectDiagonal) {
+  const DenseMatrix g = make_sparse_batch().gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(g(2, 2), 4.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+}
+
+TEST(VectorBatch, GramDiagShiftAddsToDiagonalOnly) {
+  const DenseMatrix g0 = make_sparse_batch().gram();
+  const DenseMatrix g1 = make_sparse_batch().gram(2.5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(g1(i, i), g0(i, i) + 2.5);
+    for (std::size_t j = 0; j < 3; ++j)
+      if (i != j) EXPECT_DOUBLE_EQ(g1(i, j), g0(i, j));
+  }
+}
+
+TEST(VectorBatch, DotAllAgreesAcrossStorageKinds) {
+  const std::vector<double> x{1.0, -1.0, 0.5, 2.0};
+  const auto d1 = make_dense_batch().dot_all(x);
+  const auto d2 = make_sparse_batch().dot_all(x);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) EXPECT_DOUBLE_EQ(d1[i], d2[i]);
+  EXPECT_DOUBLE_EQ(d1[0], 2.0);   // 1·1 + 2·0.5
+  EXPECT_DOUBLE_EQ(d1[1], -1.0);  // 3·(−1) + 1·2
+}
+
+TEST(VectorBatch, AddScaledToScatters) {
+  std::vector<double> target(4, 1.0);
+  make_sparse_batch().add_scaled_to(0, 2.0, target);
+  EXPECT_DOUBLE_EQ(target[0], 3.0);
+  EXPECT_DOUBLE_EQ(target[1], 1.0);
+  EXPECT_DOUBLE_EQ(target[2], 5.0);
+  EXPECT_DOUBLE_EQ(target[3], 1.0);
+}
+
+TEST(VectorBatch, DotPairMatchesGramEntry) {
+  const VectorBatch b = make_dense_batch();
+  const DenseMatrix g = b.gram();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(b.dot_pair(i, j), g(i, j));
+}
+
+TEST(VectorBatch, NormSquaredMatchesDiagonal) {
+  const VectorBatch b = make_sparse_batch();
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(b.norm_squared(i), b.dot_pair(i, i));
+}
+
+TEST(VectorBatch, MemberNnzReflectsStorage) {
+  EXPECT_EQ(make_dense_batch().member_nnz(0), 4u);   // dense: dim
+  EXPECT_EQ(make_sparse_batch().member_nnz(0), 2u);  // sparse: nnz
+}
+
+TEST(VectorBatch, SparseMemberRoundTripsDenseStorage) {
+  const SparseVector v = make_dense_batch().sparse_member(0);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(to_dense(v), (std::vector<double>{1.0, 0.0, 2.0, 0.0}));
+}
+
+TEST(VectorBatch, ConcatPreservesOrderAndValues) {
+  const VectorBatch a = make_sparse_batch();
+  const VectorBatch b = make_sparse_batch();
+  const VectorBatch all = concat({a, b});
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.to_dense_vector(4), a.to_dense_vector(1));
+}
+
+TEST(VectorBatch, ConcatDenseBatches) {
+  const VectorBatch all = concat({make_dense_batch(), make_dense_batch()});
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_TRUE(all.is_dense());
+  EXPECT_EQ(all.to_dense_vector(5), make_dense_batch().to_dense_vector(2));
+}
+
+TEST(VectorBatch, ConcatRejectsMixedKinds) {
+  EXPECT_THROW(concat({make_dense_batch(), make_sparse_batch()}),
+               PreconditionError);
+}
+
+TEST(VectorBatch, GramFlopsPositiveAndLargerForDense) {
+  EXPECT_GT(make_dense_batch().gram_flops(),
+            make_sparse_batch().gram_flops());
+  EXPECT_GT(make_sparse_batch().gram_flops(), 0u);
+}
+
+TEST(VectorBatch, EmptyBatchGramIsEmpty) {
+  const VectorBatch b = VectorBatch::sparse({}, 10);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.gram().rows(), 0u);
+}
+
+/// Property sweep: Gram of concat([X, X]) has the block structure
+/// [[G, G], [G, G]].
+class ConcatSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConcatSweep, ConcatGramHasBlockStructure) {
+  const std::size_t k = GetParam();
+  std::vector<SparseVector> vs;
+  for (std::size_t i = 0; i < k; ++i) {
+    SparseVector v;
+    v.dim = 8;
+    v.indices = {i % 8, (i + 3) % 8 > i % 8 ? (i + 3) % 8 : 7};
+    if (v.indices[0] >= v.indices[1]) v.indices = {i % 8};
+    v.values.assign(v.indices.size(), 1.0 + static_cast<double>(i));
+    vs.push_back(v);
+  }
+  const VectorBatch b = VectorBatch::sparse(vs, 8);
+  const DenseMatrix g = b.gram();
+  const DenseMatrix big = concat({b, b}).gram();
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_DOUBLE_EQ(big(i, j), g(i, j));
+      EXPECT_DOUBLE_EQ(big(i + k, j), g(i, j));
+      EXPECT_DOUBLE_EQ(big(i, j + k), g(i, j));
+      EXPECT_DOUBLE_EQ(big(i + k, j + k), g(i, j));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConcatSweep, ::testing::Values(1, 2, 5, 9));
+
+}  // namespace
+}  // namespace sa::la

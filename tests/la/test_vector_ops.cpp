@@ -1,0 +1,157 @@
+// Unit tests for the BLAS-1 kernels in la/vector_ops.
+#include "la/vector_ops.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace sa::la {
+namespace {
+
+TEST(VectorOps, DotOfOrthogonalVectorsIsZero) {
+  const std::vector<double> x{1.0, 0.0, 2.0};
+  const std::vector<double> y{0.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+TEST(VectorOps, DotMatchesManualComputation) {
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  const std::vector<double> y{4.0, 5.0, -6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 1.0 * 4.0 - 2.0 * 5.0 - 3.0 * 6.0);
+}
+
+TEST(VectorOps, DotOfEmptySpansIsZero) {
+  EXPECT_DOUBLE_EQ(dot(std::span<const double>{}, std::span<const double>{}),
+                   0.0);
+}
+
+TEST(VectorOps, DotRejectsLengthMismatch) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), PreconditionError);
+}
+
+TEST(VectorOps, AxpyAccumulatesInPlace) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VectorOps, AxpyWithZeroAlphaIsIdentity) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{3.0, 4.0};
+  axpy(0.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(VectorOps, ScaleMultipliesEveryElement) {
+  std::vector<double> x{1.0, -2.0, 0.5};
+  scale(-4.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -4.0);
+  EXPECT_DOUBLE_EQ(x[1], 8.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(VectorOps, Nrm2OfUnitAxisVectorIsOne) {
+  const std::vector<double> e{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(nrm2(e), 1.0);
+}
+
+TEST(VectorOps, Nrm2MatchesPythagoreanTriple) {
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(nrm2_squared(x), 25.0);
+}
+
+TEST(VectorOps, AsumIsSumOfMagnitudes) {
+  const std::vector<double> x{-1.0, 2.0, -3.0};
+  EXPECT_DOUBLE_EQ(asum(x), 6.0);
+}
+
+TEST(VectorOps, InfNormPicksLargestMagnitude) {
+  const std::vector<double> x{-7.0, 2.0, 6.5};
+  EXPECT_DOUBLE_EQ(inf_norm(x), 7.0);
+}
+
+TEST(VectorOps, InfNormOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(inf_norm(std::span<const double>{}), 0.0);
+}
+
+TEST(VectorOps, CopyReplicatesContents) {
+  const std::vector<double> src{1.0, 2.0, 3.0};
+  std::vector<double> dst(3, 0.0);
+  copy(src, dst);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(VectorOps, FillSetsEveryElement) {
+  std::vector<double> x(4, 1.0);
+  fill(x, -2.5);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, -2.5);
+}
+
+TEST(VectorOps, SumAddsAllElements) {
+  const std::vector<double> x{1.5, -0.5, 2.0};
+  EXPECT_DOUBLE_EQ(sum(x), 3.0);
+}
+
+TEST(VectorOps, MaxRelDiffIsZeroForIdenticalVectors) {
+  const std::vector<double> x{1.0, -5.0, 1e300};
+  EXPECT_DOUBLE_EQ(max_rel_diff(x, x), 0.0);
+}
+
+TEST(VectorOps, MaxRelDiffUsesAbsoluteScaleForSmallValues) {
+  // For |values| <= 1 the denominator is 1, so this is an absolute diff.
+  const std::vector<double> x{0.0};
+  const std::vector<double> y{1e-3};
+  EXPECT_DOUBLE_EQ(max_rel_diff(x, y), 1e-3);
+}
+
+TEST(VectorOps, MaxRelDiffIsRelativeForLargeValues) {
+  const std::vector<double> x{100.0};
+  const std::vector<double> y{110.0};
+  EXPECT_NEAR(max_rel_diff(x, y), 10.0 / 110.0, 1e-15);
+}
+
+TEST(VectorOps, ZerosAndConstantHelpers) {
+  const auto z = zeros(3);
+  EXPECT_EQ(z, (std::vector<double>{0.0, 0.0, 0.0}));
+  const auto c = constant(2, 7.0);
+  EXPECT_EQ(c, (std::vector<double>{7.0, 7.0}));
+}
+
+/// Property sweep: dot(x, x) == nrm2_squared(x) for many shapes.
+class VectorOpsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VectorOpsSweep, DotSelfEqualsNormSquared) {
+  const std::size_t n = GetParam();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(static_cast<double>(i) + 1.0);
+  EXPECT_NEAR(dot(x, x), nrm2_squared(x), 1e-12 * (1.0 + nrm2_squared(x)));
+}
+
+TEST_P(VectorOpsSweep, AxpyThenSubtractRoundTrips) {
+  const std::size_t n = GetParam();
+  std::vector<double> x(n), y(n), y0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(static_cast<double>(i));
+    y[i] = y0[i] = static_cast<double>(i) * 0.25 - 3.0;
+  }
+  axpy(1.5, x, y);
+  axpy(-1.5, x, y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], y0[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, VectorOpsSweep,
+                         ::testing::Values(0, 1, 2, 7, 64, 1000));
+
+}  // namespace
+}  // namespace sa::la

@@ -1,0 +1,136 @@
+// Tests for the Table I cost formulas.
+#include "perf/costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace sa::perf {
+namespace {
+
+BcdParams base_bcd() {
+  BcdParams p;
+  p.iterations = 1000;
+  p.block_size = 8;
+  p.s = 1;
+  p.density = 0.1;
+  p.rows = 100000;
+  p.cols = 5000;
+  p.processors = 64;
+  return p;
+}
+
+TEST(TableOne, SaLatencyIsNonSaOverS) {
+  BcdParams p = base_bcd();
+  const Costs ref = accbcd_costs(p);
+  p.s = 10;
+  const Costs sa = sa_accbcd_costs(p);
+  EXPECT_DOUBLE_EQ(sa.latency, ref.latency / 10.0);
+}
+
+TEST(TableOne, SaBandwidthIsNonSaTimesS) {
+  BcdParams p = base_bcd();
+  const Costs ref = accbcd_costs(p);
+  p.s = 10;
+  const Costs sa = sa_accbcd_costs(p);
+  EXPECT_DOUBLE_EQ(sa.bandwidth, ref.bandwidth * 10.0);
+}
+
+TEST(TableOne, SaGramFlopsScaleWithS) {
+  BcdParams p = base_bcd();
+  const Costs ref = accbcd_costs(p);
+  p.s = 10;
+  const Costs sa = sa_accbcd_costs(p);
+  // The Gram term (first summand) scales by s; the µ³ subproblem term does
+  // not, so the ratio is below s but above 1.
+  EXPECT_GT(sa.flops, ref.flops);
+  EXPECT_LT(sa.flops, ref.flops * 10.0 + 1.0);
+}
+
+TEST(TableOne, SEqualsOneReproducesNonSaExactly) {
+  BcdParams p = base_bcd();
+  const Costs ref = accbcd_costs(p);
+  const Costs sa = sa_accbcd_costs(p);
+  EXPECT_DOUBLE_EQ(sa.flops, ref.flops);
+  EXPECT_DOUBLE_EQ(sa.latency, ref.latency);
+  EXPECT_DOUBLE_EQ(sa.bandwidth, ref.bandwidth);
+}
+
+TEST(TableOne, MemoryGrowsQuadraticallyInS) {
+  BcdParams p = base_bcd();
+  p.s = 4;
+  const double m4 = sa_accbcd_costs(p).memory;
+  p.s = 8;
+  const double m8 = sa_accbcd_costs(p).memory;
+  const double mu_sq = static_cast<double>(p.block_size * p.block_size);
+  EXPECT_DOUBLE_EQ(m8 - m4, mu_sq * (64.0 - 16.0));
+}
+
+TEST(TableOne, FlopsScaleInverselyWithProcessors) {
+  BcdParams p = base_bcd();
+  const double f64 = accbcd_costs(p).flops;
+  p.processors = 128;
+  const double f128 = accbcd_costs(p).flops;
+  // Only the data-dependent term shrinks; µ³ term is replicated.
+  EXPECT_LT(f128, f64);
+  EXPECT_GT(f128, f64 / 2.0 - 1.0);
+}
+
+TEST(TableOne, LatencyGrowsLogarithmicallyWithP) {
+  BcdParams p = base_bcd();
+  p.processors = 1;
+  EXPECT_DOUBLE_EQ(accbcd_costs(p).latency, 0.0);
+  p.processors = 2;
+  const double l2 = accbcd_costs(p).latency;
+  p.processors = 1024;
+  const double l1024 = accbcd_costs(p).latency;
+  EXPECT_DOUBLE_EQ(l1024, 10.0 * l2);
+}
+
+TEST(TableOne, RejectsInvalidParameters) {
+  BcdParams p = base_bcd();
+  p.processors = 0;
+  EXPECT_THROW(accbcd_costs(p), sa::PreconditionError);
+  p = base_bcd();
+  p.s = 0;
+  EXPECT_THROW(sa_accbcd_costs(p), sa::PreconditionError);
+}
+
+SvmParams base_svm() {
+  SvmParams p;
+  p.iterations = 10000;
+  p.s = 1;
+  p.density = 0.05;
+  p.rows = 50000;
+  p.cols = 20000;
+  p.processors = 256;
+  return p;
+}
+
+TEST(SvmCosts, SaLatencyReducedByS) {
+  SvmParams p = base_svm();
+  const Costs ref = svm_costs(p);
+  p.s = 64;
+  const Costs sa = sa_svm_costs(p);
+  EXPECT_DOUBLE_EQ(sa.latency, ref.latency / 64.0);
+}
+
+TEST(SvmCosts, SaFlopsAndBandwidthGrowWithS) {
+  SvmParams p = base_svm();
+  const Costs ref = svm_costs(p);
+  p.s = 64;
+  const Costs sa = sa_svm_costs(p);
+  EXPECT_DOUBLE_EQ(sa.flops, ref.flops * 64.0);
+  EXPECT_GT(sa.bandwidth, ref.bandwidth);
+}
+
+TEST(SvmCosts, MemoryIncludesGramBuffer) {
+  SvmParams p = base_svm();
+  p.s = 100;
+  const Costs sa = sa_svm_costs(p);
+  const Costs ref = svm_costs(p);
+  EXPECT_DOUBLE_EQ(sa.memory - ref.memory, 100.0 * 100.0);
+}
+
+}  // namespace
+}  // namespace sa::perf

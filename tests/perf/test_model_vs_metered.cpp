@@ -1,0 +1,171 @@
+// Model-vs-metered consistency: the Table I formulas (perf/costs.hpp) must
+// agree with the counters a real solver execution records through the
+// communicator — the two views of cost the repo uses must not drift apart.
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "core/cd_lasso.hpp"
+#include "core/sa_lasso.hpp"
+#include "core/sa_svm.hpp"
+#include "core/svm.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "perf/costs.hpp"
+
+namespace sa::perf {
+namespace {
+
+/// Runs accBCD (or its SA variant) on `ranks` thread ranks and returns
+/// rank 0's counters.
+dist::CommStats metered_lasso(const data::Dataset& d, std::size_t mu,
+                              std::size_t s, std::size_t h, int ranks) {
+  core::LassoOptions base;
+  base.lambda = 0.05;
+  base.block_size = mu;
+  base.accelerated = true;
+  base.max_iterations = h;
+  const data::Partition rows = data::Partition::block(d.num_points(), ranks);
+  dist::CommStats out;
+  std::mutex lock;
+  dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+    if (s == 0) {
+      core::solve_lasso(comm, d, rows, base);
+    } else {
+      core::SaLassoOptions sa;
+      sa.base = base;
+      sa.s = s;
+      core::solve_sa_lasso(comm, d, rows, sa);
+    }
+    if (comm.rank() == 0) {
+      std::scoped_lock guard(lock);
+      out = comm.stats();
+    }
+  });
+  return out;
+}
+
+data::Dataset dense_problem() {
+  data::RegressionConfig cfg;
+  cfg.num_points = 128;
+  cfg.num_features = 64;
+  cfg.density = 1.0;  // dense: nnz counts are exact, f = 1
+  cfg.support_size = 8;
+  cfg.seed = 31;
+  return data::make_regression(cfg).dataset;
+}
+
+BcdParams params_for(const data::Dataset& d, std::size_t mu, std::size_t s,
+                     std::size_t h, int ranks) {
+  BcdParams p;
+  p.iterations = h;
+  p.block_size = mu;
+  p.s = std::max<std::size_t>(1, s);
+  p.density = d.density();
+  p.rows = d.num_points();
+  p.cols = d.num_features();
+  p.processors = ranks;
+  return p;
+}
+
+TEST(ModelVsMetered, LatencyCountsMatchExactly) {
+  // L = H·log2(P) for accBCD and (H/s)·log2(P) for SA-accBCD — the model
+  // and the metered messages must agree exactly (these are counts, not
+  // asymptotics).
+  const data::Dataset d = dense_problem();
+  const std::size_t h = 64;
+  const int ranks = 4;
+  for (std::size_t s : {std::size_t{0}, std::size_t{8}}) {
+    const dist::CommStats metered = metered_lasso(d, 2, s, h, ranks);
+    const BcdParams p = params_for(d, 2, s, h, ranks);
+    const Costs model = s == 0 ? accbcd_costs(p) : sa_accbcd_costs(p);
+    EXPECT_DOUBLE_EQ(model.latency,
+                     static_cast<double>(metered.messages))
+        << "s=" << s;
+  }
+}
+
+TEST(ModelVsMetered, BandwidthWithinSmallConstantFactor) {
+  // W model: H·µ²·log P (non-SA) / H·s·µ²·log P (SA).  The implementation
+  // sends upper(G) plus two dot sections, so the metered words sit within
+  // a small constant of the model (between 0.5× and 4×).
+  const data::Dataset d = dense_problem();
+  const std::size_t h = 64;
+  const int ranks = 4;
+  for (std::size_t s : {std::size_t{0}, std::size_t{8}}) {
+    for (std::size_t mu : {std::size_t{2}, std::size_t{8}}) {
+      const dist::CommStats metered = metered_lasso(d, mu, s, h, ranks);
+      const BcdParams p = params_for(d, mu, s, h, ranks);
+      const Costs model = s == 0 ? accbcd_costs(p) : sa_accbcd_costs(p);
+      const double ratio =
+          static_cast<double>(metered.words) / model.bandwidth;
+      EXPECT_GT(ratio, 0.4) << "mu=" << mu << " s=" << s;
+      EXPECT_LT(ratio, 4.0) << "mu=" << mu << " s=" << s;
+    }
+  }
+}
+
+TEST(ModelVsMetered, GramFlopsWithinSmallConstantFactor) {
+  // F model leading term: H·µ²·f·m/P (dense: f = 1).  Metered
+  // data-parallel flops include the dots and updates, so expect agreement
+  // within a small factor.
+  const data::Dataset d = dense_problem();
+  const std::size_t h = 64;
+  const int ranks = 4;
+  const std::size_t mu = 8;
+  const dist::CommStats metered = metered_lasso(d, mu, 0, h, ranks);
+  const BcdParams p = params_for(d, mu, 0, h, ranks);
+  const Costs model = accbcd_costs(p);
+  const double ratio = static_cast<double>(metered.flops) / model.flops;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(ModelVsMetered, SvmLatencyCountsMatchExactly) {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 64;
+  cfg.num_features = 48;
+  cfg.density = 1.0;
+  cfg.seed = 17;
+  const data::Dataset d = data::make_classification(cfg);
+  const std::size_t h = 64;
+  const int ranks = 4;
+  const data::Partition cols = data::Partition::block(d.num_features(), ranks);
+
+  for (std::size_t s : {std::size_t{0}, std::size_t{8}}) {
+    dist::CommStats metered;
+    std::mutex lock;
+    dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+      core::SvmOptions base;
+      base.lambda = 1.0;
+      base.max_iterations = h;
+      if (s == 0) {
+        core::solve_svm(comm, d, cols, base);
+      } else {
+        core::SaSvmOptions sa;
+        sa.base = base;
+        sa.s = s;
+        core::solve_sa_svm(comm, d, cols, sa);
+      }
+      if (comm.rank() == 0) {
+        std::scoped_lock guard(lock);
+        metered = comm.stats();
+      }
+    });
+    SvmParams p;
+    p.iterations = h;
+    p.s = std::max<std::size_t>(1, s);
+    p.density = d.density();
+    p.rows = d.num_points();
+    p.cols = d.num_features();
+    p.processors = ranks;
+    const Costs model = s == 0 ? svm_costs(p) : sa_svm_costs(p);
+    // +1 collective: the final primal-vector assembly (log2(4) = 2 rounds).
+    EXPECT_DOUBLE_EQ(model.latency + 2.0,
+                     static_cast<double>(metered.messages))
+        << "s=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace sa::perf
