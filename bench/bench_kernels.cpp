@@ -9,6 +9,10 @@
 
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "core/prox.hpp"
 #include "data/rng.hpp"
 #include "data/synthetic.hpp"
@@ -45,7 +49,25 @@ void BM_SeparateDots(benchmark::State& state) {
 }
 BENCHMARK(BM_SeparateDots)->Arg(8)->Arg(32)->Arg(128);
 
-/// BLAS-3 path: the s×s Gram of the same vectors in one call.
+/// Naive pairwise-dot Gram — the pre-kernel-engine implementation, kept
+/// as the baseline the blocked SYRK kernel is measured against.
+void BM_NaiveGram(benchmark::State& state) {
+  const std::size_t s = state.range(0);
+  const std::size_t m = 4096;
+  const sa::la::DenseMatrix a = random_dense(s, m, 1);
+  for (auto _ : state) {
+    sa::la::DenseMatrix g(s, s);
+    for (std::size_t i = 0; i < s; ++i)
+      for (std::size_t j = i; j < s; ++j)
+        g(i, j) = sa::la::dot(a.row(i), a.row(j));
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * s * (s + 1) / 2 * m);
+}
+BENCHMARK(BM_NaiveGram)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+/// BLAS-3 path: the s×s Gram of the same vectors in one call (tiled SYRK
+/// with the 4×4 register micro-kernel).
 void BM_BatchedGram(benchmark::State& state) {
   const std::size_t s = state.range(0);
   const std::size_t m = 4096;
@@ -56,7 +78,27 @@ void BM_BatchedGram(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * s * (s + 1) / 2 * m);
 }
-BENCHMARK(BM_BatchedGram)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_BatchedGram)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+/// dot_all OpenMP scaling: one large batch, swept over thread counts.
+void BM_DotAllThreads(benchmark::State& state) {
+#ifdef _OPENMP
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+#endif
+  const std::size_t k = 256;
+  const std::size_t m = 8192;  // 2·k·m crosses the parallel threshold
+  const sa::la::VectorBatch batch =
+      sa::la::VectorBatch::dense(random_dense(k, m, 2));
+  std::vector<double> x(m, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.dot_all(x));
+  }
+  state.SetItemsProcessed(state.iterations() * k * m);
+#ifdef _OPENMP
+  omp_set_num_threads(omp_get_num_procs());
+#endif
+}
+BENCHMARK(BM_DotAllThreads)->Arg(1)->Arg(2)->Arg(4);
 
 /// Sparse SpMV throughput at news20-like density.
 void BM_CsrSpmv(benchmark::State& state) {

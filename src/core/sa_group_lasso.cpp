@@ -68,6 +68,15 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
 
   if (base.trace_every > 0) record_trace(0);
 
+  // s-step workspace, reused across outer iterations.  Unlike the fixed-µ
+  // solvers, k varies per iteration when groups have unequal sizes, so the
+  // vectors high-water-mark their capacity rather than keeping one size.
+  std::vector<std::size_t> group_of;
+  std::vector<std::size_t> offset;
+  std::vector<la::VectorBatch> batches;
+  std::vector<double> buffer;
+  std::vector<std::vector<double>> delta;
+
   std::size_t iterations_done = 0;
   std::size_t since_trace = 0;
   while (iterations_done < base.max_iterations) {
@@ -77,9 +86,9 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
     // --- Sample s_eff groups (with replacement, seed-replicated) and
     //     gather their column blocks.  Groups vary in size, so track the
     //     offset of each block inside the stacked batch. ---
-    std::vector<std::size_t> group_of(s_eff);
-    std::vector<std::size_t> offset(s_eff + 1, 0);
-    std::vector<la::VectorBatch> batches;
+    group_of.resize(s_eff);
+    offset.assign(s_eff + 1, 0);
+    batches.clear();
     batches.reserve(s_eff);
     for (std::size_t t = 0; t < s_eff; ++t) {
       const auto g =
@@ -97,7 +106,7 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
 
     // --- ONE allreduce: [upper(G) | Yᵀr̃]. ---
     const std::size_t tri = detail::triangle_size(k);
-    std::vector<double> buffer(tri + k);
+    buffer.resize(tri + k);  // fully overwritten below
     {
       const la::DenseMatrix g_local = big.gram();
       comm.add_flops(big.gram_flops());
@@ -113,7 +122,7 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
 
     // --- Redundant inner iterations: the plain-BCD unrolling with the
     //     group soft-threshold as the (non-separable) prox. ---
-    std::vector<std::vector<double>> delta(s_eff);
+    delta.resize(s_eff);
     for (std::size_t j = 0; j < s_eff; ++j) {
       const std::size_t size = offset[j + 1] - offset[j];
       delta[j].assign(size, 0.0);

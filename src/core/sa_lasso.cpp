@@ -108,6 +108,17 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
 
   if (base.trace_every > 0) record_trace(0);
 
+  // s-step workspace, reused across outer iterations: the sizes only
+  // change on the final (shorter) iteration, so the allocations of the
+  // first outer iteration serve the whole solve.
+  std::vector<std::vector<std::size_t>> idx;
+  std::vector<la::VectorBatch> batches;
+  std::vector<double> buffer;
+  std::vector<double> theta_in;
+  std::vector<std::vector<double>> delta;
+  std::unordered_map<std::size_t, double> pending;
+  pending.reserve(s * mu * 2);
+
   std::size_t iterations_done = 0;
   std::size_t since_trace = 0;
   while (iterations_done < base.max_iterations) {
@@ -115,8 +126,8 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
         std::min(s, base.max_iterations - iterations_done);
 
     // --- Sampling: s_eff blocks of µ coordinates (seed-replicated). ---
-    std::vector<std::vector<std::size_t>> idx(s_eff);
-    std::vector<la::VectorBatch> batches;
+    idx.resize(s_eff);
+    batches.clear();
     batches.reserve(s_eff);
     for (std::size_t t = 0; t < s_eff; ++t) {
       idx[t] = sampler.next();
@@ -129,7 +140,7 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
     //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]). ---
     const std::size_t tri = detail::triangle_size(k);
     const std::size_t sections = base.accelerated ? 2 : 1;
-    std::vector<double> buffer(tri + sections * k);
+    buffer.resize(tri + sections * k);  // fully overwritten below
     {
       const la::DenseMatrix g_local = big.gram();
       comm.add_flops(big.gram_flops());
@@ -156,18 +167,17 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
 
     // --- Redundant inner iterations (equations (3)–(5)), replicated. ---
     // θ entering inner iteration t (θ_{sk+t} in paper indexing, t 0-based).
-    std::vector<double> theta_in(s_eff + 1);
+    theta_in.resize(s_eff + 1);
     theta_in[0] = theta;
     for (std::size_t t = 0; t < s_eff; ++t)
       theta_in[t + 1] = detail::theta_next(theta_in[t]);
 
     // Deferred per-iteration solution updates Δz (µ each).
-    std::vector<std::vector<double>> delta(s_eff,
-                                           std::vector<double>(mu, 0.0));
+    delta.resize(s_eff);
+    for (std::vector<double>& d : delta) d.assign(mu, 0.0);
     // Accumulated deferred update per coordinate (the Σ I_jᵀI_t Δz_t
     // overlap terms of equations (4)–(5)).
-    std::unordered_map<std::size_t, double> pending;
-    pending.reserve(s_eff * mu * 2);
+    pending.clear();
 
     for (std::size_t j = 0; j < s_eff; ++j) {
       // Diagonal µ×µ block of G is A_jᵀA_j; its largest eigenvalue is the

@@ -79,6 +79,12 @@ SvmResult solve_sa_svm(dist::Communicator& comm,
 
   if (base.trace_every > 0) record_trace(0);
 
+  // s-step workspace, reused across outer iterations (sizes only change
+  // on the final, shorter iteration).
+  std::vector<std::size_t> idx;
+  std::vector<double> buffer;
+  std::vector<double> theta;
+
   std::size_t iterations_done = 0;
   std::size_t since_trace = 0;
   bool stop = false;
@@ -87,14 +93,14 @@ SvmResult solve_sa_svm(dist::Communicator& comm,
         std::min(s, base.max_iterations - iterations_done);
 
     // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
-    std::vector<std::size_t> idx(s_eff);
+    idx.resize(s_eff);
     for (std::size_t t = 0; t < s_eff; ++t)
       idx[t] = static_cast<std::size_t>(rng.next_below(m));
     const la::VectorBatch batch = block.gather_rows(idx);
 
     // --- The ONE communication round: [upper(G) | Yᵀx]. ---
     const std::size_t tri = detail::triangle_size(s_eff);
-    std::vector<double> buffer(tri + s_eff);
+    buffer.resize(tri + s_eff);  // fully overwritten below
     {
       const la::DenseMatrix g_local = batch.gram();
       comm.add_flops(batch.gram_flops());
@@ -109,7 +115,7 @@ SvmResult solve_sa_svm(dist::Communicator& comm,
     const std::span<const double> xdots(buffer.data() + tri, s_eff);
 
     // --- Redundant inner iterations (equations (14)–(15)), replicated.
-    std::vector<double> theta(s_eff, 0.0);
+    theta.assign(s_eff, 0.0);
     for (std::size_t j = 0; j < s_eff; ++j) {
       // η_j = G_jj + γ  (Algorithm 4 line 11: diag of G+γI).
       const double eta = gram(j, j) + constants.gamma;

@@ -1,0 +1,28 @@
+#include "dist/comm.hpp"
+
+namespace sa::dist {
+
+std::size_t collective_rounds(int ranks) {
+  std::size_t rounds = 0;
+  int span = 1;
+  while (span < ranks) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+void Communicator::allreduce_sum(std::span<double> data) {
+  do_allreduce_sum(data);
+  const std::size_t rounds = collective_rounds(size());
+  stats_.collectives += 1;
+  stats_.messages += rounds;
+  stats_.words += data.size() * rounds;
+}
+
+double Communicator::allreduce_sum_scalar(double value) {
+  allreduce_sum(std::span<double>(&value, 1));
+  return value;
+}
+
+}  // namespace sa::dist

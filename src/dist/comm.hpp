@@ -1,0 +1,99 @@
+// Communication abstraction for the distributed solvers.
+//
+// The paper's algorithms are expressed against MPI collectives; this layer
+// reproduces that programming model in-process.  A Communicator exposes the
+// one collective the solver family needs (summing allreduce) plus the
+// α-β-γ counters the cost model prices: every collective charges
+// ceil(log2 P) latency rounds (the depth of a binomial reduction tree) and
+// payload·rounds words along the critical path, exactly the quantities in
+// the paper's Table I.
+//
+// Thread-safety contract: a Communicator instance is owned by exactly one
+// rank (one thread).  Concrete backends synchronise ranks internally (see
+// thread_comm.hpp); callers never share one Communicator object across
+// threads.  Counter mutation (add_flops, set_stats, …) is rank-local and
+// requires no locking.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sa::dist {
+
+/// Metered communication/computation counters of one rank.
+///
+/// `flops` are data-parallel (they shrink as 1/P when the data is spread
+/// over more ranks); `replicated_flops` are redundant work every rank
+/// repeats (eigen-solves, the SA inner recurrences) and do not scale.
+/// `messages` counts latency rounds, `words` the payload moved along the
+/// critical path, and `collectives` the number of allreduce invocations.
+struct CommStats {
+  std::size_t flops = 0;
+  std::size_t replicated_flops = 0;
+  std::size_t messages = 0;
+  std::size_t words = 0;
+  std::size_t collectives = 0;
+
+  /// Bytes corresponding to `words` (the library moves 8-byte doubles).
+  std::size_t bytes() const { return 8 * words; }
+};
+
+/// Latency rounds of a binomial-tree collective over `ranks` ranks:
+/// ceil(log2 ranks), 0 for a single rank.
+std::size_t collective_rounds(int ranks);
+
+/// Abstract communicator: the solver-facing API plus metering.
+///
+/// Metering lives in this base class so every backend charges identically;
+/// backends only implement the data movement (`do_allreduce_sum`).
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// In-place summing allreduce: after the call, `data` holds the
+  /// elementwise sum of every rank's buffer, identical on all ranks.
+  /// Partial sums are combined in rank order (0, 1, …, P−1), so results
+  /// are deterministic and rank-count-reproducible.
+  void allreduce_sum(std::span<double> data);
+
+  /// Convenience overload for owning vectors.
+  void allreduce_sum(std::vector<double>& data) {
+    allreduce_sum(std::span<double>(data));
+  }
+
+  /// Scalar allreduce; returns the sum over all ranks.
+  double allreduce_sum_scalar(double value);
+
+  /// Metered counters accumulated so far on this rank.
+  const CommStats& stats() const { return stats_; }
+
+  /// Overwrites the counters (used to exclude instrumentation-only
+  /// communication from the metering — snapshot, evaluate, restore).
+  void set_stats(const CommStats& stats) { stats_ = stats; }
+
+  /// Charges data-parallel flops (work that shrinks with 1/P).
+  void add_flops(std::size_t flops) { stats_.flops += flops; }
+
+  /// Charges replicated flops (redundant work every rank repeats).
+  void add_replicated_flops(std::size_t flops) {
+    stats_.replicated_flops += flops;
+  }
+
+ protected:
+  /// Backend hook: performs the actual elementwise sum across ranks.
+  virtual void do_allreduce_sum(std::span<double> data) = 0;
+
+ private:
+  CommStats stats_;
+};
+
+}  // namespace sa::dist
+
+// The serial backend ships with the interface: every solver offers a
+// *_serial entry point built on SerialComm, so the two are inseparable in
+// practice (include order is safe under the header guards).
+#include "dist/serial_comm.hpp"  // IWYU pragma: export

@@ -1,0 +1,33 @@
+#include "dist/cost_model.hpp"
+
+namespace sa::dist {
+
+// Rates are order-of-magnitude representatives of each regime, not
+// measurements: ~10 Gflop/s per rank everywhere (γ = 1e-10); latency
+// spans 20 ns (in-node barrier) → 2 µs (HPC interconnect) → 50 µs
+// (Ethernet + software stack); per-word costs follow the same ladder
+// for 8-byte words.
+
+MachineParams MachineParams::shared_memory() {
+  return {"shared-memory", 2e-8, 4e-10, 1e-10};
+}
+
+MachineParams MachineParams::cray_xc30() {
+  return {"cray-xc30", 2e-6, 8e-10, 1e-10};
+}
+
+MachineParams MachineParams::ethernet_cluster() {
+  return {"ethernet", 5e-5, 8e-9, 1e-10};
+}
+
+CostBreakdown price(const CommStats& stats, const MachineParams& machine) {
+  CostBreakdown b;
+  b.compute_seconds =
+      machine.gamma *
+      static_cast<double>(stats.flops + stats.replicated_flops);
+  b.bandwidth_seconds = machine.beta * static_cast<double>(stats.words);
+  b.latency_seconds = machine.alpha * static_cast<double>(stats.messages);
+  return b;
+}
+
+}  // namespace sa::dist

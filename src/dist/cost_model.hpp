@@ -1,0 +1,56 @@
+// The α-β-γ machine model that prices metered counters into seconds.
+//
+// A machine is three rates: α seconds per message (latency), β seconds per
+// word moved (inverse bandwidth), γ seconds per flop (inverse compute
+// rate).  Pricing a CommStats with a machine reproduces the paper's
+// critical-path running-time estimate
+//
+//   T = γ·F + β·W + α·L,
+//
+// where F counts both the data-parallel and the replicated flops of the
+// rank (both sit on the critical path).  The three presets span the
+// latency regimes the paper discusses: a shared-memory node, a Cray
+// XC30-like HPC interconnect, and a commodity Ethernet/cloud cluster.
+#pragma once
+
+#include <string>
+
+#include "dist/comm.hpp"
+
+namespace sa::dist {
+
+/// α-β-γ rates of one machine, all in seconds (per message/word/flop).
+struct MachineParams {
+  std::string name;
+  double alpha = 0.0;  ///< seconds per message (latency)
+  double beta = 0.0;   ///< seconds per word (inverse bandwidth)
+  double gamma = 0.0;  ///< seconds per flop (inverse compute rate)
+
+  /// One cache-coherent node: negligible latency, fast word movement.
+  static MachineParams shared_memory();
+
+  /// Cray XC30-like HPC machine (the paper's Edison testbed regime).
+  static MachineParams cray_xc30();
+
+  /// Commodity Ethernet / cloud cluster: latency-dominated collectives.
+  static MachineParams ethernet_cluster();
+};
+
+/// Seconds attributed to each α-β-γ term.
+struct CostBreakdown {
+  double compute_seconds = 0.0;    ///< γ·F
+  double bandwidth_seconds = 0.0;  ///< β·W
+  double latency_seconds = 0.0;    ///< α·L
+
+  double communication_seconds() const {
+    return bandwidth_seconds + latency_seconds;
+  }
+  double total_seconds() const {
+    return compute_seconds + communication_seconds();
+  }
+};
+
+/// Prices metered counters on a machine.
+CostBreakdown price(const CommStats& stats, const MachineParams& machine);
+
+}  // namespace sa::dist

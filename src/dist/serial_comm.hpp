@@ -1,0 +1,25 @@
+// Single-rank communicator: the P = 1 degenerate case.
+//
+// Allreduce is the identity, latency/bandwidth counters stay at zero
+// (collective_rounds(1) == 0), but collectives and flops are still metered
+// so serial and distributed runs of the same solve report comparable
+// instrumentation.
+#pragma once
+
+#include <span>
+
+#include "dist/comm.hpp"
+
+namespace sa::dist {
+
+/// The trivial one-rank communicator used by the *_serial entry points.
+class SerialComm final : public Communicator {
+ public:
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+
+ protected:
+  void do_allreduce_sum(std::span<double> data) override;
+};
+
+}  // namespace sa::dist

@@ -1,0 +1,183 @@
+#include "dist/thread_comm.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace sa::dist {
+
+namespace internal {
+
+/// Thrown into ranks parked at a barrier when a sibling rank failed; only
+/// used to unwind the worker back to its loop, never surfaced to callers.
+struct TeamAborted {};
+
+struct TeamState {
+  explicit TeamState(int rank_count)
+      : ranks(rank_count), slots(rank_count), stats(rank_count) {}
+
+  const int ranks;
+
+  std::mutex mu;
+  std::condition_variable cv;       // barrier + task dispatch
+  std::condition_variable done_cv;  // run() completion
+
+  // Central sense-reversing barrier (blocking, not spinning: teams are
+  // routinely oversubscribed — P ranks on fewer cores).
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  bool aborted = false;
+
+  // Allreduce workspace: per-rank input spans and the shared result.
+  std::vector<std::span<double>> slots;
+  std::vector<double> scratch;
+  bool length_mismatch = false;
+
+  // Task dispatch.
+  std::uint64_t epoch = 0;
+  bool shutdown = false;
+  const std::function<void(ThreadComm&)>* task = nullptr;
+  int finished = 0;
+  std::vector<CommStats> stats;
+  std::exception_ptr first_error;
+};
+
+namespace {
+
+/// Waits until every rank arrives; the last arriver runs `completion`
+/// under the lock before releasing the team.  Throws TeamAborted if the
+/// team failed while this rank waited.
+template <typename Completion>
+void barrier(TeamState& s, Completion&& completion) {
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (s.aborted) throw TeamAborted{};
+  if (++s.arrived == s.ranks) {
+    s.arrived = 0;
+    completion();
+    ++s.generation;
+    s.cv.notify_all();
+    return;
+  }
+  const std::uint64_t gen = s.generation;
+  s.cv.wait(lock, [&] { return s.generation != gen || s.aborted; });
+  if (s.aborted) throw TeamAborted{};
+}
+
+void barrier(TeamState& s) {
+  barrier(s, [] {});
+}
+
+}  // namespace
+
+}  // namespace internal
+
+void ThreadComm::do_allreduce_sum(std::span<double> data) {
+  internal::TeamState& s = state_;
+  if (size_ == 1) return;  // nothing to combine, no synchronisation needed
+
+  const std::size_t n = data.size();
+  s.slots[rank_] = data;
+  internal::barrier(s, [&] {
+    // Validate before any rank gathers, so a mismatch can never read past
+    // a shorter sibling buffer.
+    s.length_mismatch = false;
+    for (const std::span<double>& slot : s.slots)
+      if (slot.size() != n) s.length_mismatch = true;
+    if (!s.length_mismatch && s.scratch.size() < n) s.scratch.resize(n);
+  });
+  SA_CHECK(!s.length_mismatch,
+           "ThreadComm::allreduce_sum: buffer length differs across ranks");
+
+  // Each rank sums a disjoint chunk of elements; every element is
+  // accumulated over ranks 0 → P−1 in order, the same left-to-right order
+  // a serial reduction uses, so the result is bitwise deterministic.
+  const std::size_t p = static_cast<std::size_t>(size_);
+  const std::size_t r = static_cast<std::size_t>(rank_);
+  const std::size_t begin = n * r / p;
+  const std::size_t end = n * (r + 1) / p;
+  for (std::size_t i = begin; i < end; ++i) {
+    double acc = s.slots[0][i];
+    for (std::size_t other = 1; other < p; ++other) acc += s.slots[other][i];
+    s.scratch[i] = acc;
+  }
+  internal::barrier(s);
+
+  for (std::size_t i = 0; i < n; ++i) data[i] = s.scratch[i];
+  internal::barrier(s);  // keep scratch stable until every rank copied
+}
+
+ThreadTeam::ThreadTeam(int ranks) : ranks_(ranks) {
+  SA_CHECK(ranks >= 1, "ThreadTeam: need at least one rank");
+  state_ = std::make_unique<internal::TeamState>(ranks);
+  workers_.reserve(ranks);
+  for (int r = 0; r < ranks; ++r)
+    workers_.emplace_back([this, r] { worker_loop(r); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->shutdown = true;
+    state_->cv.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+std::vector<CommStats> ThreadTeam::run(
+    const std::function<void(ThreadComm&)>& task) {
+  internal::TeamState& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.task = &task;
+  s.finished = 0;
+  s.arrived = 0;
+  s.aborted = false;
+  s.first_error = nullptr;
+  s.stats.assign(ranks_, CommStats{});
+  ++s.epoch;
+  s.cv.notify_all();
+  s.done_cv.wait(lock, [&] { return s.finished == s.ranks; });
+  s.task = nullptr;
+  if (s.first_error) std::rethrow_exception(s.first_error);
+  return s.stats;
+}
+
+void ThreadTeam::worker_loop(int rank) {
+  internal::TeamState& s = *state_;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(ThreadComm&)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv.wait(lock, [&] { return s.shutdown || s.epoch != seen_epoch; });
+      if (s.shutdown) return;
+      seen_epoch = s.epoch;
+      task = s.task;
+    }
+    ThreadComm comm(s, rank, s.ranks);
+    try {
+      (*task)(comm);
+    } catch (const internal::TeamAborted&) {
+      // A sibling rank failed; this rank was unwound at a barrier.
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (!s.first_error) s.first_error = std::current_exception();
+      s.aborted = true;
+      s.cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.stats[rank] = comm.stats();
+      if (++s.finished == s.ranks) s.done_cv.notify_all();
+    }
+  }
+}
+
+std::vector<CommStats> run_distributed(
+    int ranks, const std::function<void(Communicator&)>& task) {
+  ThreadTeam team(ranks);
+  return team.run([&task](ThreadComm& comm) { task(comm); });
+}
+
+}  // namespace sa::dist

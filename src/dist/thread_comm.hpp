@@ -1,0 +1,91 @@
+// Thread-team communicator: P ranks as P threads of one process.
+//
+// ThreadTeam owns a pool of P persistent worker threads; run(task) executes
+// `task(comm)` once on every rank and blocks until all ranks return.  The
+// collective is a barrier-synchronised shared-memory allreduce:
+//
+//   1. every rank publishes a span over its buffer and hits a barrier
+//      (the last arriver sizes the shared scratch vector);
+//   2. ranks cooperatively sum disjoint element chunks, each chunk
+//      accumulated over ranks in order 0, 1, …, P−1 — bit-for-bit the
+//      left-to-right order a serial reduction would use, so results are
+//      deterministic regardless of thread scheduling;
+//   3. after a second barrier every rank copies the shared result back
+//      into its own buffer, and a third barrier protects the scratch from
+//      the next collective.
+//
+// Barriers block on a condition variable (no spinning), so oversubscribed
+// runs — more ranks than cores, the common case in tests — stay cheap.
+//
+// Thread-safety contract: each ThreadComm belongs to exactly one worker
+// thread; ThreadTeam::run may be called repeatedly but not concurrently.
+// If a rank throws, the team aborts the remaining ranks at their next
+// barrier and run() rethrows the first exception.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dist/comm.hpp"
+
+namespace sa::dist {
+
+namespace internal {
+struct TeamState;  // shared barrier + reduction workspace (thread_comm.cpp)
+}  // namespace internal
+
+/// One rank's endpoint into a ThreadTeam.
+class ThreadComm final : public Communicator {
+ public:
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+
+ protected:
+  void do_allreduce_sum(std::span<double> data) override;
+
+ private:
+  friend class ThreadTeam;
+  ThreadComm(internal::TeamState& state, int rank, int size)
+      : state_(state), rank_(rank), size_(size) {}
+
+  internal::TeamState& state_;
+  int rank_ = 0;
+  int size_ = 1;
+};
+
+/// A pool of P worker threads acting as P communicator ranks.
+class ThreadTeam {
+ public:
+  /// Spawns `ranks` persistent workers (ranks >= 1).
+  explicit ThreadTeam(int ranks);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return ranks_; }
+
+  /// Runs `task` once per rank, blocks until every rank returns, and
+  /// returns the per-rank metered counters (index == rank).  Rethrows the
+  /// first exception any rank raised.
+  std::vector<CommStats> run(const std::function<void(ThreadComm&)>& task);
+
+ private:
+  void worker_loop(int rank);
+
+  int ranks_ = 1;
+  std::unique_ptr<internal::TeamState> state_;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience wrapper: one-shot team running `task` on `ranks` ranks;
+/// returns the per-rank counters.
+std::vector<CommStats> run_distributed(
+    int ranks, const std::function<void(Communicator&)>& task);
+
+}  // namespace sa::dist

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "la/vector_ops.hpp"
 
 namespace sa::la {
 
@@ -110,12 +111,27 @@ std::size_t CsrMatrix::row_nnz(std::size_t i) const {
 
 void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   SA_CHECK(x.size() == cols_ && y.size() == rows_, "spmv: dimension mismatch");
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = indptr_[i]; k < indptr_[i + 1]; ++k)
-      acc += values_[k] * x[indices_[k]];
+  // Rows are independent (one writer per y[i]), so the loop parallelises
+  // deterministically; the two-accumulator gather breaks the add latency
+  // chain within a row.  Small matrices stay serial to avoid fork cost.
+  const bool parallel = 2 * nnz() >= kParallelFlopThreshold && rows_ > 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64) if (parallel)
+#endif
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows_); ++i) {
+    const std::size_t begin = indptr_[i];
+    const std::size_t end = indptr_[i + 1];
+    const std::size_t mid = begin + (end - begin) / 2 * 2;
+    double a0 = 0.0, a1 = 0.0;
+    for (std::size_t k = begin; k < mid; k += 2) {
+      a0 += values_[k] * x[indices_[k]];
+      a1 += values_[k + 1] * x[indices_[k + 1]];
+    }
+    double acc = a0 + a1;
+    if (mid < end) acc += values_[mid] * x[indices_[mid]];
     y[i] = acc;
   }
+  (void)parallel;
 }
 
 void CsrMatrix::spmv_transpose(std::span<const double> x,

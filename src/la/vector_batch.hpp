@@ -4,8 +4,15 @@
 // methods: the s·µ sampled columns (Lasso) or the s sampled rows (SVM)
 // collected for one outer iteration.  A batch stores its vectors either
 // densely (one matrix row per vector — the BLAS-3 path the paper credits
-// for cache-efficiency gains) or sparsely (merge-based dots for very
-// sparse data such as the url/news20 twins).
+// for cache-efficiency gains) or sparsely (accumulator-based kernels for
+// very sparse data such as the url/news20 twins).
+//
+// gram() runs blocked kernels: a tiled upper-triangular SYRK with a 4×4
+// register micro-kernel for dense storage, and a scatter/gather dense-
+// accumulator kernel (SpGEMM row style) for sparse storage.  Both
+// parallelise with OpenMP above a fixed work threshold and are
+// deterministic for a given batch (each Gram entry is accumulated in a
+// fixed order by exactly one thread).
 //
 // All kernels report the number of floating-point operations they perform
 // so the distributed solvers can meter work for the α-β-γ cost model.
@@ -65,8 +72,17 @@ class VectorBatch {
   /// Nonzeros of member i (dim() for dense batches).  O(1).
   std::size_t member_nnz(std::size_t i) const;
 
-  /// Flops performed by gram(): 2·(work per pair) summed over the upper
-  /// triangle.  Deterministic, used by the cost model.
+  /// Zero-copy view of the dense storage (requires is_dense()).
+  const DenseMatrix& dense_matrix() const;
+
+  /// Zero-copy view of the sparse members (requires !is_dense()).
+  std::span<const SparseVector> sparse_members() const;
+
+  /// Flops performed by gram(), matching the kernels exactly:
+  /// dense  k(k+1)·dim  (2·dim per pair over the upper triangle);
+  /// sparse Σ_j 2·(j+1)·nnz_j  (the accumulator kernel gathers through
+  /// v_j's nonzeros for every pair (i ≤ j, j)).  Deterministic, used by
+  /// the cost model.
   std::size_t gram_flops() const;
 
   /// Flops performed by one dot_all() call.

@@ -7,16 +7,40 @@
 
 namespace sa::la {
 
+// Reduction kernels are 4-way unrolled: independent accumulators break the
+// loop-carried add dependency (one FMA latency per element otherwise) and
+// let the compiler keep four vector registers in flight.  The summation
+// order (lane-strided, lanes combined left-to-right at the end) differs
+// from the naive loop but is fixed, so results stay run-to-run and
+// rank-count deterministic.
+
 double dot(std::span<const double> x, std::span<const double> y) {
   SA_CHECK(x.size() == y.size(), "dot: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (std::size_t i = n4; i < n; ++i) acc += x[i] * y[i];
   return acc;
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   SA_CHECK(x.size() == y.size(), "axpy: length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (std::size_t i = n4; i < n; ++i) y[i] += alpha * x[i];
 }
 
 void scale(double alpha, std::span<double> x) {
@@ -26,14 +50,32 @@ void scale(double alpha, std::span<double> x) {
 double nrm2(std::span<const double> x) { return std::sqrt(nrm2_squared(x)); }
 
 double nrm2_squared(std::span<const double> x) {
-  double acc = 0.0;
-  for (double v : x) acc += v * v;
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    a0 += x[i] * x[i];
+    a1 += x[i + 1] * x[i + 1];
+    a2 += x[i + 2] * x[i + 2];
+    a3 += x[i + 3] * x[i + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (std::size_t i = n4; i < n; ++i) acc += x[i] * x[i];
   return acc;
 }
 
 double asum(std::span<const double> x) {
-  double acc = 0.0;
-  for (double v : x) acc += std::abs(v);
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    a0 += std::abs(x[i]);
+    a1 += std::abs(x[i + 1]);
+    a2 += std::abs(x[i + 2]);
+    a3 += std::abs(x[i + 3]);
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (std::size_t i = n4; i < n; ++i) acc += std::abs(x[i]);
   return acc;
 }
 
@@ -53,8 +95,17 @@ void fill(std::span<double> x, double value) {
 }
 
 double sum(std::span<const double> x) {
-  double acc = 0.0;
-  for (double v : x) acc += v;
+  const std::size_t n = x.size();
+  const std::size_t n4 = n - n % 4;
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    a0 += x[i];
+    a1 += x[i + 1];
+    a2 += x[i + 2];
+    a3 += x[i + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (std::size_t i = n4; i < n; ++i) acc += x[i];
   return acc;
 }
 

@@ -12,6 +12,11 @@
 
 namespace sa::la {
 
+/// Minimum flop count before a kernel forks an OpenMP team.  Shared by
+/// every parallel kernel in the layer (Gram, dot_all, spmv) so they all
+/// cross from serial to threaded at the same work size.
+inline constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 19;
+
 /// Returns the dot product  x' * y.  Both spans must have equal length.
 double dot(std::span<const double> x, std::span<const double> y);
 

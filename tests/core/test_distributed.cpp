@@ -93,6 +93,39 @@ TEST_P(RankSweep, SaLassoMatchesSerialExactly) {
     EXPECT_LT(la::max_rel_diff(serial.x, per_rank[r]), 1e-10) << "rank " << r;
 }
 
+TEST(SaLassoTrace, FourRankObjectiveTraceMatchesSerial) {
+  const data::Dataset d = regression_problem();
+  SaLassoOptions opt;
+  opt.base.lambda = 0.05;
+  opt.base.block_size = 2;
+  opt.base.max_iterations = 48;
+  opt.base.trace_every = 4;
+  opt.s = 6;
+
+  const Trace serial = solve_sa_lasso_serial(d, opt).trace;
+  ASSERT_FALSE(serial.empty());
+
+  const data::Partition rows = data::Partition::block(d.num_points(), 4);
+  std::vector<Trace> per_rank(4);
+  std::mutex mu;
+  dist::run_distributed(4, [&](dist::Communicator& comm) {
+    Trace t = solve_sa_lasso(comm, d, rows, opt).trace;
+    std::scoped_lock lock(mu);
+    per_rank[comm.rank()] = std::move(t);
+  });
+
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(per_rank[r].points.size(), serial.points.size()) << "rank " << r;
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_EQ(per_rank[r].points[i].iteration, serial.points[i].iteration);
+      const double a = serial.points[i].objective;
+      const double b = per_rank[r].points[i].objective;
+      EXPECT_LE(std::abs(a - b), 1e-10 * std::max(1.0, std::abs(a)))
+          << "rank " << r << " trace point " << i;
+    }
+  }
+}
+
 TEST_P(RankSweep, SvmMatchesSerialExactly) {
   const int p = GetParam();
   const data::Dataset d = classification_problem();

@@ -1,0 +1,210 @@
+// Communicator-layer tests: the thread-backed allreduce must be
+// deterministic (rank-ordered summation, bit-for-bit equal to the serial
+// left-to-right reduction), the α-β-γ counters must follow the tree-
+// collective model exactly, and failures on one rank must not hang the
+// team.
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/rng.hpp"
+#include "dist/cost_model.hpp"
+#include "dist/thread_comm.hpp"
+
+namespace sa::dist {
+namespace {
+
+std::vector<double> rank_contribution(int rank, std::size_t n) {
+  data::SplitMix64 rng(1000 + static_cast<std::uint64_t>(rank));
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_normal();
+  return v;
+}
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, AllreduceMatchesSerialSummationOrderBitForBit) {
+  const int p = GetParam();
+  const std::size_t n = 257;  // not a multiple of the chunking
+
+  // Reference: the serial left-to-right sum (c0 + c1) + c2 + … — exactly
+  // the order SerialComm would accumulate contributions arriving in rank
+  // order.
+  std::vector<double> want = rank_contribution(0, n);
+  for (int r = 1; r < p; ++r) {
+    const std::vector<double> c = rank_contribution(r, n);
+    for (std::size_t i = 0; i < n; ++i) want[i] += c[i];
+  }
+
+  std::vector<std::vector<double>> got(p);
+  run_distributed(p, [&](Communicator& comm) {
+    std::vector<double> mine = rank_contribution(comm.rank(), n);
+    comm.allreduce_sum(mine);
+    got[comm.rank()] = std::move(mine);
+  });
+
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(got[r].size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(got[r][i], want[i]) << "rank " << r << " element " << i;
+  }
+}
+
+TEST_P(RankSweep, ScalarAllreduceSumsEveryRank) {
+  const int p = GetParam();
+  std::vector<double> got(p);
+  run_distributed(p, [&](Communicator& comm) {
+    got[comm.rank()] =
+        comm.allreduce_sum_scalar(static_cast<double>(comm.rank() + 1));
+  });
+  const double want = static_cast<double>(p) * (p + 1) / 2.0;
+  for (int r = 0; r < p; ++r) EXPECT_EQ(got[r], want);
+}
+
+TEST_P(RankSweep, CountersFollowTreeCollectiveModel) {
+  const int p = GetParam();
+  const std::size_t rounds = collective_rounds(p);
+  const auto stats = run_distributed(p, [&](Communicator& comm) {
+    std::vector<double> buf(10, 1.0);
+    comm.allreduce_sum(buf);
+    comm.allreduce_sum_scalar(2.0);
+    comm.add_flops(100);
+    comm.add_replicated_flops(7);
+  });
+  ASSERT_EQ(stats.size(), static_cast<std::size_t>(p));
+  for (const CommStats& s : stats) {
+    EXPECT_EQ(s.collectives, 2u);
+    EXPECT_EQ(s.messages, 2 * rounds);
+    EXPECT_EQ(s.words, 11 * rounds);
+    EXPECT_EQ(s.flops, 100u);
+    EXPECT_EQ(s.replicated_flops, 7u);
+    EXPECT_EQ(s.bytes(), 8 * 11 * rounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RankSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(SerialComm, AllreduceIsIdentityAndChargesNoCommunication) {
+  SerialComm comm;
+  std::vector<double> v{1.5, -2.0, 3.25};
+  const std::vector<double> original = v;
+  comm.allreduce_sum(v);
+  EXPECT_EQ(v, original);
+  EXPECT_EQ(comm.allreduce_sum_scalar(4.5), 4.5);
+  EXPECT_EQ(comm.stats().collectives, 2u);
+  EXPECT_EQ(comm.stats().messages, 0u);  // collective_rounds(1) == 0
+  EXPECT_EQ(comm.stats().words, 0u);
+}
+
+TEST(SerialComm, SnapshotRestoreExcludesInstrumentation) {
+  SerialComm comm;
+  comm.add_flops(10);
+  const CommStats snapshot = comm.stats();
+  comm.allreduce_sum_scalar(1.0);
+  comm.add_flops(999);
+  comm.set_stats(snapshot);
+  EXPECT_EQ(comm.stats().flops, 10u);
+  EXPECT_EQ(comm.stats().collectives, 0u);
+}
+
+TEST(CollectiveRounds, CeilLog2) {
+  EXPECT_EQ(collective_rounds(1), 0u);
+  EXPECT_EQ(collective_rounds(2), 1u);
+  EXPECT_EQ(collective_rounds(3), 2u);
+  EXPECT_EQ(collective_rounds(4), 2u);
+  EXPECT_EQ(collective_rounds(5), 3u);
+  EXPECT_EQ(collective_rounds(8), 3u);
+  EXPECT_EQ(collective_rounds(9), 4u);
+}
+
+TEST(ThreadTeam, EmptyPayloadAndRepeatedRuns) {
+  ThreadTeam team(4);
+  for (int round = 0; round < 3; ++round) {
+    const auto stats = team.run([](ThreadComm& comm) {
+      std::vector<double> empty;
+      comm.allreduce_sum(empty);
+    });
+    // Counters reset between runs; an empty collective still counts.
+    for (const CommStats& s : stats) {
+      EXPECT_EQ(s.collectives, 1u);
+      EXPECT_EQ(s.words, 0u);
+    }
+  }
+}
+
+TEST(ThreadTeam, ManyRanksFewCoresStillCorrect) {
+  // Heavy oversubscription: 16 ranks on whatever cores exist.
+  std::vector<double> got(16, 0.0);
+  run_distributed(16, [&](Communicator& comm) {
+    for (int round = 0; round < 50; ++round) {
+      double v = 1.0;
+      v = comm.allreduce_sum_scalar(v);
+      EXPECT_EQ(v, 16.0);
+    }
+    got[comm.rank()] = 1.0;
+  });
+  for (double v : got) EXPECT_EQ(v, 1.0);
+}
+
+TEST(ThreadTeam, ExceptionOnOneRankPropagatesWithoutHanging) {
+  ThreadTeam team(4);
+  EXPECT_THROW(team.run([](ThreadComm& comm) {
+                 std::vector<double> buf(8, 1.0);
+                 comm.allreduce_sum(buf);  // synchronise everyone first
+                 if (comm.rank() == 2)
+                   throw std::runtime_error("rank 2 failed");
+                 comm.allreduce_sum(buf);  // others park at a barrier
+               }),
+               std::runtime_error);
+  // The team must stay usable after an aborted run.
+  const auto stats = team.run([](ThreadComm& comm) {
+    std::vector<double> buf(3, 1.0);
+    comm.allreduce_sum(buf);
+    EXPECT_EQ(buf[0], 4.0);
+  });
+  EXPECT_EQ(stats.size(), 4u);
+}
+
+TEST(ThreadTeam, MismatchedLengthsThrowInsteadOfCorrupting) {
+  ThreadTeam team(2);
+  EXPECT_THROW(team.run([](ThreadComm& comm) {
+                 std::vector<double> buf(comm.rank() == 0 ? 4 : 5, 1.0);
+                 comm.allreduce_sum(buf);
+               }),
+               sa::PreconditionError);
+}
+
+TEST(ThreadTeam, RejectsZeroRanks) {
+  EXPECT_THROW(ThreadTeam{0}, sa::PreconditionError);
+}
+
+TEST(CostModel, PricesCountersLinearly) {
+  CommStats s;
+  s.flops = 50;
+  s.replicated_flops = 50;  // replicated work sits on the critical path too
+  s.words = 1000;
+  s.messages = 10;
+  const MachineParams m{"unit", 1.0, 2.0, 3.0};
+  const CostBreakdown b = price(s, m);
+  EXPECT_DOUBLE_EQ(b.compute_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(b.bandwidth_seconds, 2000.0);
+  EXPECT_DOUBLE_EQ(b.latency_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(b.communication_seconds(), 2010.0);
+  EXPECT_DOUBLE_EQ(b.total_seconds(), 2310.0);
+}
+
+TEST(CostModel, PresetLatencyLadder) {
+  // The three presets must order by latency: shared memory < HPC < cloud.
+  const double sm = MachineParams::shared_memory().alpha;
+  const double cray = MachineParams::cray_xc30().alpha;
+  const double eth = MachineParams::ethernet_cluster().alpha;
+  EXPECT_LT(sm, cray);
+  EXPECT_LT(cray, eth);
+}
+
+}  // namespace
+}  // namespace sa::dist
