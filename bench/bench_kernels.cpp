@@ -7,21 +7,28 @@
 //   * collective cost growth with rank count and payload.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <span>
 #include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "core/detail.hpp"
+#include "core/local_data.hpp"
 #include "core/prox.hpp"
+#include "data/partition.hpp"
 #include "data/rng.hpp"
 #include "data/synthetic.hpp"
 #include "dist/thread_comm.hpp"
+#include "la/batch_view.hpp"
 #include "la/csc.hpp"
 #include "la/csr.hpp"
 #include "la/dense.hpp"
 #include "la/vector_batch.hpp"
 #include "la/vector_ops.hpp"
+#include "la/workspace.hpp"
 
 namespace {
 
@@ -136,6 +143,105 @@ void BM_SparseColumnGram(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(batch.gram());
 }
 BENCHMARK(BM_SparseColumnGram)->Arg(8)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// The per-outer-iteration Gram+dots stage of the s-step solvers, copy path
+// vs zero-copy fused path, at solver-realistic shapes (s blocks of µ
+// sampled columns, one residual dot section — the plain-mode wire format
+// [upper(G) | Yᵀr̃]).  Both variants sample identically; the difference is
+// purely gather_columns+concat+gram+pack_upper+dot_all versus
+// view_columns+sampled_gram_and_dots.
+// ---------------------------------------------------------------------------
+
+sa::data::Dataset pipeline_dataset(double density) {
+  sa::data::RegressionConfig cfg;
+  cfg.num_points = 4096;
+  cfg.num_features = 4096;
+  cfg.density = density;
+  cfg.support_size = 16;
+  return sa::data::make_regression(cfg).dataset;
+}
+
+void bench_gram_dots_copy(benchmark::State& state, double density) {
+  const std::size_t s = state.range(0);
+  const std::size_t mu = state.range(1);
+  const sa::data::Dataset d = pipeline_dataset(density);
+  const sa::core::RowBlock block(
+      d, sa::data::Partition::block(d.num_points(), 1), 0);
+  sa::data::CoordinateSampler sampler(d.num_features(), mu, 3);
+  std::vector<double> res(block.local_rows(), 1.0);
+  std::vector<std::size_t> cols(mu);
+  std::vector<double> buffer;
+  for (auto _ : state) {
+    std::vector<sa::la::VectorBatch> batches;
+    batches.reserve(s);
+    for (std::size_t t = 0; t < s; ++t) {
+      sampler.next_into(cols);
+      batches.push_back(block.gather_columns(cols));
+    }
+    const sa::la::VectorBatch big = sa::la::concat(batches);
+    const std::size_t k = big.size();
+    const std::size_t tri = sa::core::detail::triangle_size(k);
+    buffer.resize(tri + k);
+    sa::core::detail::pack_upper(big.gram(),
+                                 std::span<double>(buffer.data(), tri));
+    const std::vector<double> dots = big.dot_all(res);
+    std::copy(dots.begin(), dots.end(), buffer.begin() + tri);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s * mu);
+}
+
+void bench_gram_dots_view(benchmark::State& state, double density) {
+  const std::size_t s = state.range(0);
+  const std::size_t mu = state.range(1);
+  const sa::data::Dataset d = pipeline_dataset(density);
+  const sa::core::RowBlock block(
+      d, sa::data::Partition::block(d.num_points(), 1), 0);
+  sa::data::CoordinateSampler sampler(d.num_features(), mu, 3);
+  std::vector<double> res(block.local_rows(), 1.0);
+  const std::array<std::span<const double>, 1> rhs{
+      std::span<const double>(res)};
+  sa::la::Workspace ws;
+  for (auto _ : state) {
+    const std::span<std::size_t> idx = ws.indices(0, s * mu);
+    for (std::size_t t = 0; t < s; ++t)
+      sampler.next_into(idx.subspan(t * mu, mu));
+    const sa::la::BatchView big = block.view_columns(idx, ws);
+    const std::span<double> buffer =
+        ws.doubles(0, sa::la::fused_buffer_size(s * mu, 1));
+    sa::la::sampled_gram_and_dots(big, rhs, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s * mu);
+}
+
+// news20-like density: the regime where the paper's SA solvers live and
+// where per-iteration copies are the dominant non-Gram cost.
+void BM_SparseGramDotsCopy(benchmark::State& state) {
+  bench_gram_dots_copy(state, 0.002);
+}
+void BM_SparseGramDotsView(benchmark::State& state) {
+  bench_gram_dots_view(state, 0.002);
+}
+void BM_DenseGramDotsCopy(benchmark::State& state) {
+  bench_gram_dots_copy(state, 0.5);
+}
+void BM_DenseGramDotsView(benchmark::State& state) {
+  bench_gram_dots_view(state, 0.5);
+}
+BENCHMARK(BM_SparseGramDotsCopy)
+    ->Args({1, 8})->Args({4, 8})->Args({16, 8})
+    ->Args({1, 64})->Args({4, 64})->Args({16, 64});
+BENCHMARK(BM_SparseGramDotsView)
+    ->Args({1, 8})->Args({4, 8})->Args({16, 8})
+    ->Args({1, 64})->Args({4, 64})->Args({16, 64});
+BENCHMARK(BM_DenseGramDotsCopy)
+    ->Args({1, 8})->Args({4, 8})->Args({16, 8})
+    ->Args({1, 64})->Args({4, 64})->Args({16, 64});
+BENCHMARK(BM_DenseGramDotsView)
+    ->Args({1, 8})->Args({4, 8})->Args({16, 8})
+    ->Args({1, 64})->Args({4, 64})->Args({16, 64});
 
 /// Thread-team allreduce cost vs rank count and payload.
 void BM_Allreduce(benchmark::State& state) {

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstddef>
 #include <span>
+#include <utility>
 
 #include "core/solver_options.hpp"
+#include "la/batch_view.hpp"
 #include "la/dense.hpp"
 
 namespace sa::core::detail {
@@ -25,6 +27,27 @@ inline void pack_upper(const la::DenseMatrix& g, std::span<double> out) {
   for (std::size_t i = 0; i < g.rows(); ++i)
     for (std::size_t j = i; j < g.cols(); ++j) out[p++] = g(i, j);
 }
+
+/// Random-access view of a packed row-major upper triangle, presented as
+/// the full symmetric k×k matrix.  The s-step solvers read the Gram
+/// directly out of the allreduce buffer through this view instead of
+/// unpacking into a freshly allocated DenseMatrix every outer iteration.
+/// Layout is single-sourced from la::packed_upper_index — the index the
+/// fused kernel writes.
+class PackedUpper {
+ public:
+  PackedUpper(const double* packed, std::size_t k) : p_(packed), k_(k) {}
+
+  double operator()(std::size_t i, std::size_t j) const {
+    if (i > j) std::swap(i, j);
+    return p_[la::packed_upper_index(i, j, k_)];
+  }
+  std::size_t dim() const { return k_; }
+
+ private:
+  const double* p_;
+  std::size_t k_;
+};
 
 /// Unpacks a packed upper triangle into a full symmetric k×k matrix.
 inline la::DenseMatrix unpack_upper(std::span<const double> buf,

@@ -13,6 +13,7 @@ RowBlock::RowBlock(const data::Dataset& dataset, const data::Partition& rows,
   SA_CHECK(rank >= 0 && rank < rows.num_ranks(), "RowBlock: bad rank");
   a_ = dataset.a.row_slice(rows.begin(rank), rows.end(rank));
   csc_ = la::CscMatrix(a_);
+  col_norms_ = csc_.col_norms_squared();  // one O(nnz) pass at construction
   b_.assign(dataset.b.begin() + rows.begin(rank),
             dataset.b.begin() + rows.end(rank));
   dense_batches_ = dataset.a.density() > kDenseBatchThreshold;
@@ -39,6 +40,36 @@ la::VectorBatch RowBlock::gather_columns(
     vectors.push_back(csc_.gather_column(col));
   }
   return la::VectorBatch::sparse(std::move(vectors), m_loc);
+}
+
+la::BatchView RowBlock::view_columns(std::span<const std::size_t> cols,
+                                     la::Workspace& ws) const {
+  const std::size_t m_loc = local_rows();
+  const std::size_t k = cols.size();
+  if (dense_batches_) {
+    // Densify into the workspace staging area (zeroed, then scattered —
+    // the same values the gather path produces, without the allocation).
+    std::span<double> stage = ws.dense_stage(k * m_loc);
+    la::fill(stage, 0.0);
+    std::span<const double*> rows = ws.member_rows(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      SA_CHECK(cols[c] < num_features(), "view_columns: column out of range");
+      double* row = stage.data() + c * m_loc;
+      rows[c] = row;
+      const auto idx = csc_.col_indices(cols[c]);
+      const auto val = csc_.col_values(cols[c]);
+      for (std::size_t p = 0; p < idx.size(); ++p) row[idx[p]] = val[p];
+    }
+    return la::BatchView::dense(rows, m_loc);
+  }
+  std::span<std::span<const std::size_t>> idx = ws.member_index_spans(k);
+  std::span<std::span<const double>> val = ws.member_value_spans(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    SA_CHECK(cols[c] < num_features(), "view_columns: column out of range");
+    idx[c] = csc_.col_indices(cols[c]);
+    val[c] = csc_.col_values(cols[c]);
+  }
+  return la::BatchView::sparse(idx, val, m_loc);
 }
 
 ColBlock::ColBlock(const data::Dataset& dataset, const data::Partition& cols,
@@ -73,6 +104,34 @@ la::VectorBatch ColBlock::gather_rows(
     vectors.push_back(a_.gather_row(r));
   }
   return la::VectorBatch::sparse(std::move(vectors), n_loc);
+}
+
+la::BatchView ColBlock::view_rows(std::span<const std::size_t> rows,
+                                  la::Workspace& ws) const {
+  const std::size_t n_loc = local_cols();
+  const std::size_t k = rows.size();
+  if (dense_batches_) {
+    std::span<double> stage = ws.dense_stage(k * n_loc);
+    la::fill(stage, 0.0);
+    std::span<const double*> ptrs = ws.member_rows(k);
+    for (std::size_t r = 0; r < k; ++r) {
+      SA_CHECK(rows[r] < num_points(), "view_rows: row out of range");
+      double* row = stage.data() + r * n_loc;
+      ptrs[r] = row;
+      const auto idx = a_.row_indices(rows[r]);
+      const auto val = a_.row_values(rows[r]);
+      for (std::size_t p = 0; p < idx.size(); ++p) row[idx[p]] = val[p];
+    }
+    return la::BatchView::dense(ptrs, n_loc);
+  }
+  std::span<std::span<const std::size_t>> idx = ws.member_index_spans(k);
+  std::span<std::span<const double>> val = ws.member_value_spans(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    SA_CHECK(rows[r] < num_points(), "view_rows: row out of range");
+    idx[r] = a_.row_indices(rows[r]);
+    val[r] = a_.row_values(rows[r]);
+  }
+  return la::BatchView::sparse(idx, val, n_loc);
 }
 
 }  // namespace sa::core

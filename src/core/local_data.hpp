@@ -9,16 +9,25 @@
 // primal iterate x ∈ ℝ^n is partitioned, the dual iterate α ∈ ℝ^m and the
 // labels are replicated.  Solvers sample *rows*, which CSR gathers
 // directly.
+//
+// Each block offers the sampled coordinates in two forms:
+//   * gather_* — owning VectorBatch copies (the classical solvers);
+//   * view_*   — zero-copy la::BatchView descriptors over the resident
+//     CSC/CSR arrays (sparse mode) or over a Workspace staging area
+//     (dense mode), the allocation-free path of the s-step solvers.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "data/partition.hpp"
+#include "la/batch_view.hpp"
 #include "la/csc.hpp"
 #include "la/csr.hpp"
 #include "la/vector_batch.hpp"
+#include "la/workspace.hpp"
 
 namespace sa::core {
 
@@ -37,15 +46,33 @@ class RowBlock {
   const la::CsrMatrix& matrix() const { return a_; }
   const std::vector<double>& labels() const { return b_; }
 
+  /// Squared Euclidean norms of the *local* column slices, precomputed
+  /// once at construction (one O(nnz) pass) for load-balance diagnostics
+  /// and λ-selection helpers.  Note these are per-rank partials: a column
+  /// empty on this rank may be nonzero globally, so replicated decisions —
+  /// in particular the solvers' empty-block eigensolve skip — must use the
+  /// allreduced Gram diagonal (which is exactly the sum of these partials
+  /// over ranks), not the local values.
+  const std::vector<double>& col_norms_squared() const { return col_norms_; }
+
   /// Gathers the given global columns (restricted to local rows) into a
   /// VectorBatch of dim local_rows().  Storage (dense vs sparse) follows
   /// the matrix density.
   la::VectorBatch gather_columns(const std::vector<std::size_t>& cols) const;
 
+  /// Zero-copy counterpart of gather_columns: returns a BatchView whose
+  /// sparse members alias the resident CSC arrays directly; in dense-batch
+  /// mode the columns are densified into `ws`'s staging area (no heap
+  /// allocation in steady state).  The view is valid until the next
+  /// view_columns call on the same workspace.
+  la::BatchView view_columns(std::span<const std::size_t> cols,
+                             la::Workspace& ws) const;
+
  private:
   la::CsrMatrix a_;   // m_loc × n
   la::CscMatrix csc_; // column mirror of a_
   std::vector<double> b_;
+  std::vector<double> col_norms_;  // ‖local slice of column j‖² for all j
   bool dense_batches_ = false;
 };
 
@@ -64,6 +91,12 @@ class ColBlock {
   /// Gathers the given global rows (restricted to local columns) into a
   /// VectorBatch of dim local_cols().
   la::VectorBatch gather_rows(const std::vector<std::size_t>& rows) const;
+
+  /// Zero-copy counterpart of gather_rows: sparse members alias the CSR
+  /// row arrays directly; dense-batch mode stages into `ws`.  Valid until
+  /// the next view_rows call on the same workspace.
+  la::BatchView view_rows(std::span<const std::size_t> rows,
+                          la::Workspace& ws) const;
 
  private:
   la::CsrMatrix a_;  // m × n_loc

@@ -1,5 +1,7 @@
 #include "core/sa_group_lasso.hpp"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 
@@ -7,9 +9,10 @@
 #include "core/detail.hpp"
 #include "core/prox.hpp"
 #include "data/rng.hpp"
+#include "la/batch_view.hpp"
 #include "la/eigen.hpp"
-#include "la/vector_batch.hpp"
 #include "la/vector_ops.hpp"
+#include "la/workspace.hpp"
 
 namespace sa::core {
 
@@ -41,6 +44,12 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
   RowBlock block(dataset, rows, comm.rank());
   data::SplitMix64 rng(base.seed);
 
+  // Largest group size bounds every per-group scratch buffer below.
+  std::size_t max_group = 0;
+  for (std::size_t g = 0; g < groups.num_groups(); ++g)
+    max_group = std::max(max_group,
+                         groups.offsets[g + 1] - groups.offsets[g]);
+
   LassoResult result;
   result.x.assign(n, 0.0);
   std::vector<double>& x = result.x;
@@ -68,14 +77,21 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
 
   if (base.trace_every > 0) record_trace(0);
 
-  // s-step workspace, reused across outer iterations.  Unlike the fixed-µ
-  // solvers, k varies per iteration when groups have unequal sizes, so the
-  // vectors high-water-mark their capacity rather than keeping one size.
-  std::vector<std::size_t> group_of;
-  std::vector<std::size_t> offset;
-  std::vector<la::VectorBatch> batches;
-  std::vector<double> buffer;
-  std::vector<std::vector<double>> delta;
+  // s-step workspace.  Unlike the fixed-µ solvers, k varies per iteration
+  // when groups have unequal sizes, so the arena slots high-water-mark
+  // their capacity; the per-group scratch is sized by max_group up front,
+  // leaving the steady-state loop allocation-free.
+  la::Workspace ws;
+  enum : std::size_t { kSlotIdx = 0 };                 // index pool
+  enum : std::size_t { kSlotDelta = 0, kSlotBuffer = 1 };
+  std::vector<std::size_t> group_of(s);
+  std::vector<std::size_t> offset(s + 1);
+  std::vector<double> r(max_group);
+  std::vector<double> u(max_group);
+  std::vector<double> base_state(max_group);
+  la::DenseMatrix gjj(max_group, max_group);
+  la::EigenScratch eig_scratch;
+  eig_scratch.reserve(max_group);
 
   std::size_t iterations_done = 0;
   std::size_t since_trace = 0;
@@ -83,99 +99,108 @@ LassoResult solve_sa_group_lasso(dist::Communicator& comm,
     const std::size_t s_eff =
         std::min(s, base.max_iterations - iterations_done);
 
-    // --- Sample s_eff groups (with replacement, seed-replicated) and
-    //     gather their column blocks.  Groups vary in size, so track the
-    //     offset of each block inside the stacked batch. ---
-    group_of.resize(s_eff);
-    offset.assign(s_eff + 1, 0);
-    batches.clear();
-    batches.reserve(s_eff);
+    // --- Sample s_eff groups (with replacement, seed-replicated).
+    //     Groups vary in size, so track the offset of each block inside
+    //     the stacked batch; the sampled column indices are contiguous
+    //     runs viewed zero-copy in the resident CSC storage. ---
+    offset[0] = 0;
     for (std::size_t t = 0; t < s_eff; ++t) {
       const auto g =
           static_cast<std::size_t>(rng.next_below(groups.num_groups()));
       group_of[t] = g;
-      const std::size_t begin = groups.offsets[g];
-      const std::size_t size = groups.offsets[g + 1] - begin;
-      std::vector<std::size_t> cols(size);
-      for (std::size_t l = 0; l < size; ++l) cols[l] = begin + l;
-      batches.push_back(block.gather_columns(cols));
-      offset[t + 1] = offset[t] + size;
+      offset[t + 1] =
+          offset[t] + (groups.offsets[g + 1] - groups.offsets[g]);
     }
-    const la::VectorBatch big = la::concat(batches);
-    const std::size_t k = big.size();
+    const std::size_t k = offset[s_eff];
+    const std::span<std::size_t> idx = ws.indices(kSlotIdx, k);
+    for (std::size_t t = 0; t < s_eff; ++t) {
+      const std::size_t begin = groups.offsets[group_of[t]];
+      for (std::size_t l = 0; l < offset[t + 1] - offset[t]; ++l)
+        idx[offset[t] + l] = begin + l;
+    }
+    const la::BatchView big = block.view_columns(idx, ws);
 
-    // --- ONE allreduce: [upper(G) | Yᵀr̃]. ---
+    // --- ONE allreduce: [upper(G) | Yᵀr̃], fused into the buffer. ---
     const std::size_t tri = detail::triangle_size(k);
-    buffer.resize(tri + k);  // fully overwritten below
-    {
-      const la::DenseMatrix g_local = big.gram();
-      comm.add_flops(big.gram_flops());
-      detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
-      const std::vector<double> dots = big.dot_all(res);
-      comm.add_flops(big.dot_all_flops());
-      std::copy(dots.begin(), dots.end(), buffer.begin() + tri);
-    }
+    const std::span<double> buffer = ws.doubles(kSlotBuffer, tri + k);
+    const std::array<std::span<const double>, 1> rhs{
+        std::span<const double>(res)};
+    la::sampled_gram_and_dots(big, rhs, buffer);
+    comm.add_flops(big.gram_flops() + big.dot_all_flops());
     comm.allreduce_sum(buffer);
-    const la::DenseMatrix gram =
-        detail::unpack_upper(std::span<const double>(buffer.data(), tri), k);
+    const detail::PackedUpper gram(buffer.data(), k);
     const std::span<const double> rdots(buffer.data() + tri, k);
 
     // --- Redundant inner iterations: the plain-BCD unrolling with the
     //     group soft-threshold as the (non-separable) prox. ---
-    delta.resize(s_eff);
+    const std::span<double> delta = ws.doubles(kSlotDelta, k);
+    la::fill(delta, 0.0);
     for (std::size_t j = 0; j < s_eff; ++j) {
       const std::size_t size = offset[j + 1] - offset[j];
-      delta[j].assign(size, 0.0);
 
-      la::DenseMatrix gjj(size, size);
+      // Cheap v == 0 pre-check via the (global) Gram diagonal: a PSD
+      // block is zero iff its diagonal is, and the allreduced diagonal is
+      // identical on every rank, so the branch stays replicated.  (The
+      // per-rank RowBlock::col_norms_squared() partials cannot decide
+      // this in the distributed setting.)
+      bool empty_block = true;
+      for (std::size_t a = 0; a < size; ++a) {
+        if (gram(offset[j] + a, offset[j] + a) != 0.0) {
+          empty_block = false;
+          break;
+        }
+      }
+      if (empty_block) continue;  // all-zero group block: no update
+
+      gjj.reshape(size, size);
       for (std::size_t a = 0; a < size; ++a)
         for (std::size_t b = 0; b < size; ++b)
           gjj(a, b) = gram(offset[j] + a, offset[j] + b);
-      const double v = la::largest_eigenvalue_psd(gjj);
+      const double v = la::largest_eigenvalue_psd(gjj, eig_scratch);
       comm.add_replicated_flops(detail::eig_flops(size));
       if (v == 0.0) continue;  // all-zero group block: no update
       const double eta = 1.0 / v;
 
       // r_j = A_gⱼᵀ r̃_sk + Σ_{t<j} G_{jt} Δ_t  (unrolled residual).
-      std::vector<double> r(size);
       for (std::size_t a = 0; a < size; ++a) r[a] = rdots[offset[j] + a];
       for (std::size_t t = 0; t < j; ++t) {
+        const std::size_t tsize = offset[t + 1] - offset[t];
         for (std::size_t a = 0; a < size; ++a) {
           double acc = 0.0;
-          for (std::size_t b = 0; b < delta[t].size(); ++b)
-            acc += gram(offset[j] + a, offset[t] + b) * delta[t][b];
+          for (std::size_t b = 0; b < tsize; ++b)
+            acc += gram(offset[j] + a, offset[t] + b) * delta[offset[t] + b];
           r[a] += acc;
         }
-        comm.add_replicated_flops(2 * size * delta[t].size());
+        comm.add_replicated_flops(2 * size * tsize);
       }
 
       // Deferred group state: x_gⱼ plus earlier updates to the SAME group
       // (groups are disjoint, so overlap is all-or-nothing).
       const std::size_t begin = groups.offsets[group_of[j]];
-      std::vector<double> u(size);
       for (std::size_t a = 0; a < size; ++a) u[a] = x[begin + a];
       for (std::size_t t = 0; t < j; ++t) {
         if (group_of[t] != group_of[j]) continue;
-        for (std::size_t a = 0; a < size; ++a) u[a] += delta[t][a];
+        for (std::size_t a = 0; a < size; ++a) u[a] += delta[offset[t] + a];
       }
-      const std::vector<double> base_state = u;
+      for (std::size_t a = 0; a < size; ++a) base_state[a] = u[a];
 
       // Joint proximal step:  u := GST(u − η·r, λη).
       for (std::size_t a = 0; a < size; ++a) u[a] -= eta * r[a];
-      group_soft_threshold(u, base.lambda * eta);
+      group_soft_threshold(std::span<double>(u.data(), size),
+                           base.lambda * eta);
       for (std::size_t a = 0; a < size; ++a)
-        delta[j][a] = u[a] - base_state[a];
+        delta[offset[j] + a] = u[a] - base_state[a];
     }
 
     // --- Deferred batch updates. ---
     for (std::size_t t = 0; t < s_eff; ++t) {
       const std::size_t begin = groups.offsets[group_of[t]];
-      for (std::size_t a = 0; a < delta[t].size(); ++a) {
-        const double d = delta[t][a];
+      for (std::size_t a = 0; a < offset[t + 1] - offset[t]; ++a) {
+        const double d = delta[offset[t] + a];
         if (d == 0.0) continue;
         x[begin + a] += d;
-        batches[t].add_scaled_to(a, d, res);
-        comm.add_flops(2 * batches[t].member_nnz(a));
+        big.add_scaled_to(offset[t] + a, d, res);
+        comm.add_flops(2 * big.member_nnz(offset[t] + a));
       }
     }
 

@@ -1,16 +1,17 @@
 #include "core/sa_lasso.hpp"
 
+#include <array>
 #include <chrono>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/check.hpp"
 #include "core/detail.hpp"
 #include "core/prox.hpp"
 #include "data/rng.hpp"
+#include "la/batch_view.hpp"
 #include "la/eigen.hpp"
-#include "la/vector_batch.hpp"
 #include "la/vector_ops.hpp"
+#include "la/workspace.hpp"
 
 namespace sa::core {
 
@@ -69,32 +70,38 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
       std::ceil(static_cast<double>(n) / static_cast<double>(mu));
   double theta = static_cast<double>(mu) / static_cast<double>(n);
 
-  const auto current_x = [&]() -> std::vector<double> {
-    if (!base.accelerated) return z;
-    std::vector<double> x(n);
+  const auto write_current_x = [&](std::span<double> out) {
+    if (!base.accelerated) {
+      la::copy(z, out);
+      return;
+    }
     const double t2 = theta * theta;
-    for (std::size_t j = 0; j < n; ++j) x[j] = t2 * y[j] + z[j];
-    return x;
+    for (std::size_t j = 0; j < n; ++j) out[j] = t2 * y[j] + z[j];
   };
+
+  // Trace scratch, reused across every trace point (no fresh vectors).
+  std::vector<double> x_scratch(n);
+  std::vector<double> res_scratch(block.local_rows());
 
   const auto record_trace = [&](std::size_t iteration) {
     const dist::CommStats snapshot = comm.stats();
-    std::vector<double> x = current_x();
-    std::vector<double> res(block.local_rows());
+    write_current_x(x_scratch);
     const double t2 = theta * theta;
-    for (std::size_t i = 0; i < res.size(); ++i)
-      res[i] = base.accelerated ? t2 * y_img[i] + z_img[i] : z_img[i];
+    for (std::size_t i = 0; i < res_scratch.size(); ++i)
+      res_scratch[i] =
+          base.accelerated ? t2 * y_img[i] + z_img[i] : z_img[i];
     const double total_sq =
-        comm.allreduce_sum_scalar(la::nrm2_squared(res));
+        comm.allreduce_sum_scalar(la::nrm2_squared(res_scratch));
     double penalty_value = 0.0;
     switch (base.penalty) {
       case Penalty::kLasso:
-        penalty_value = base.lambda * la::asum(x);
+        penalty_value = base.lambda * la::asum(x_scratch);
         break;
       case Penalty::kElasticNet:
-        penalty_value = base.lambda * (base.elastic_net_l1 * la::asum(x) +
-                                       base.elastic_net_l2 *
-                                           la::nrm2_squared(x));
+        penalty_value =
+            base.lambda * (base.elastic_net_l1 * la::asum(x_scratch) +
+                           base.elastic_net_l2 *
+                               la::nrm2_squared(x_scratch));
         break;
     }
     comm.set_stats(snapshot);
@@ -108,58 +115,58 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
 
   if (base.trace_every > 0) record_trace(0);
 
-  // s-step workspace, reused across outer iterations: the sizes only
-  // change on the final (shorter) iteration, so the allocations of the
-  // first outer iteration serve the whole solve.
-  std::vector<std::vector<std::size_t>> idx;
-  std::vector<la::VectorBatch> batches;
-  std::vector<double> buffer;
-  std::vector<double> theta_in;
-  std::vector<std::vector<double>> delta;
-  std::unordered_map<std::size_t, double> pending;
-  pending.reserve(s * mu * 2);
+  // s-step workspace.  The arena slots (sampled indices, deferred deltas,
+  // the pending-update table, the allreduce buffer) and the fixed-size
+  // scratch below are sized by the first (largest) outer iteration and
+  // reused verbatim afterwards: the steady-state inner loop performs no
+  // heap allocation.
+  la::Workspace ws;
+  enum : std::size_t { kSlotIdx = 0 };                      // index pool
+  enum : std::size_t { kSlotDelta = 0, kSlotPending = 1, kSlotBuffer = 2 };
+  std::vector<double> theta_in(s + 1);
+  std::vector<double> r(mu);
+  la::DenseMatrix gjj(mu, mu);
+  la::EigenScratch eig_scratch;
+  eig_scratch.reserve(mu);
+  // Flat pending-update table + touched list (replaces the per-iteration
+  // unordered_map): pending[coord] accumulates this outer iteration's
+  // deferred updates and is restored to all-zero via `touched` at the end,
+  // so the O(n) table is paid once, not per iteration.
+  const std::span<double> pending = ws.doubles(kSlotPending, n);
+  std::vector<std::size_t> touched;
+  touched.reserve(s * mu);
 
   std::size_t iterations_done = 0;
   std::size_t since_trace = 0;
   while (iterations_done < base.max_iterations) {
     const std::size_t s_eff =
         std::min(s, base.max_iterations - iterations_done);
+    const std::size_t k = s_eff * mu;  // members of the sampled batch
 
-    // --- Sampling: s_eff blocks of µ coordinates (seed-replicated). ---
-    idx.resize(s_eff);
-    batches.clear();
-    batches.reserve(s_eff);
-    for (std::size_t t = 0; t < s_eff; ++t) {
-      idx[t] = sampler.next();
-      batches.push_back(block.gather_columns(idx[t]));
-    }
-    const la::VectorBatch big = la::concat(batches);
-    const std::size_t k = big.size();  // s_eff · µ
+    // --- Sampling: s_eff blocks of µ coordinates (seed-replicated),
+    //     viewed zero-copy in the resident CSC storage. ---
+    const std::span<std::size_t> idx = ws.indices(kSlotIdx, k);
+    for (std::size_t t = 0; t < s_eff; ++t)
+      sampler.next_into(idx.subspan(t * mu, mu));
+    const la::BatchView big = block.view_columns(idx, ws);
 
     // --- The ONE communication round of this outer iteration:
-    //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]). ---
+    //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]),
+    //     fused straight into the allreduce buffer. ---
     const std::size_t tri = detail::triangle_size(k);
     const std::size_t sections = base.accelerated ? 2 : 1;
-    buffer.resize(tri + sections * k);  // fully overwritten below
-    {
-      const la::DenseMatrix g_local = big.gram();
-      comm.add_flops(big.gram_flops());
-      detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
-      if (base.accelerated) {
-        const std::vector<double> ydots = big.dot_all(y_img);
-        const std::vector<double> zdots = big.dot_all(z_img);
-        comm.add_flops(2 * big.dot_all_flops());
-        std::copy(ydots.begin(), ydots.end(), buffer.begin() + tri);
-        std::copy(zdots.begin(), zdots.end(), buffer.begin() + tri + k);
-      } else {
-        const std::vector<double> rdots = big.dot_all(z_img);
-        comm.add_flops(big.dot_all_flops());
-        std::copy(rdots.begin(), rdots.end(), buffer.begin() + tri);
-      }
-    }
+    const std::span<double> buffer =
+        ws.doubles(kSlotBuffer, tri + sections * k);
+    const std::array<std::span<const double>, 2> rhs{
+        std::span<const double>(y_img), std::span<const double>(z_img)};
+    la::sampled_gram_and_dots(
+        big,
+        std::span<const std::span<const double>>(
+            rhs.data() + (base.accelerated ? 0 : 1), sections),
+        buffer);
+    comm.add_flops(big.gram_flops() + sections * big.dot_all_flops());
     comm.allreduce_sum(buffer);
-    const la::DenseMatrix gram =
-        detail::unpack_upper(std::span<const double>(buffer.data(), tri), k);
+    const detail::PackedUpper gram(buffer.data(), k);
     const std::span<const double> dots1(buffer.data() + tri, k);
     const std::span<const double> dots2(
         buffer.data() + tri + (base.accelerated ? k : 0),
@@ -167,26 +174,36 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
 
     // --- Redundant inner iterations (equations (3)–(5)), replicated. ---
     // θ entering inner iteration t (θ_{sk+t} in paper indexing, t 0-based).
-    theta_in.resize(s_eff + 1);
     theta_in[0] = theta;
     for (std::size_t t = 0; t < s_eff; ++t)
       theta_in[t + 1] = detail::theta_next(theta_in[t]);
 
-    // Deferred per-iteration solution updates Δz (µ each).
-    delta.resize(s_eff);
-    for (std::vector<double>& d : delta) d.assign(mu, 0.0);
-    // Accumulated deferred update per coordinate (the Σ I_jᵀI_t Δz_t
-    // overlap terms of equations (4)–(5)).
-    pending.clear();
+    // Deferred per-iteration solution updates Δz (µ each, flat).
+    const std::span<double> delta = ws.doubles(kSlotDelta, k);
+    la::fill(delta, 0.0);
+    touched.clear();
 
     for (std::size_t j = 0; j < s_eff; ++j) {
+      // Cheap v == 0 pre-check: a PSD block is zero iff its diagonal is
+      // zero, and the allreduced Gram diagonal holds the *global* squared
+      // column norms, so every rank takes the same branch.  (The per-rank
+      // RowBlock::col_norms_squared() partials cannot decide this:
+      // a locally empty column may be nonzero on a sibling rank.)
+      bool empty_block = true;
+      for (std::size_t a = 0; a < mu; ++a) {
+        if (gram(j * mu + a, j * mu + a) != 0.0) {
+          empty_block = false;
+          break;
+        }
+      }
+      if (empty_block) continue;  // Δz_j stays 0, no eigensolve needed
+
       // Diagonal µ×µ block of G is A_jᵀA_j; its largest eigenvalue is the
       // block Lipschitz constant (Algorithm 2 line 14).
-      la::DenseMatrix gjj(mu, mu);
       for (std::size_t a = 0; a < mu; ++a)
         for (std::size_t b = 0; b < mu; ++b)
           gjj(a, b) = gram(j * mu + a, j * mu + b);
-      const double v = la::largest_eigenvalue_psd(gjj);
+      const double v = la::largest_eigenvalue_psd(gjj, eig_scratch);
       comm.add_replicated_flops(detail::eig_flops(mu));
       if (v == 0.0) continue;  // empty block: Δz_j stays 0 (matches Alg. 1)
 
@@ -196,7 +213,6 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
       const double t2 = theta_prev * theta_prev;
 
       // r_j per equation (3) (accelerated) or its plain analogue.
-      std::vector<double> r(mu);
       for (std::size_t a = 0; a < mu; ++a) {
         r[a] = base.accelerated
                    ? t2 * dots1[j * mu + a] + dots2[j * mu + a]
@@ -215,7 +231,7 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
         for (std::size_t a = 0; a < mu; ++a) {
           double acc = 0.0;
           for (std::size_t b = 0; b < mu; ++b)
-            acc += gram(j * mu + a, t * mu + b) * delta[t][b];
+            acc += gram(j * mu + a, t * mu + b) * delta[t * mu + b];
           r[a] += c * acc;
         }
         comm.add_replicated_flops(2 * mu * mu);
@@ -223,14 +239,15 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
 
       // Equations (4)–(5): proximal step against the deferred state.
       for (std::size_t a = 0; a < mu; ++a) {
-        const std::size_t coord = idx[j][a];
-        double base_value = z[coord];
-        if (const auto it = pending.find(coord); it != pending.end())
-          base_value += it->second;
+        const std::size_t coord = idx[j * mu + a];
+        const double base_value = z[coord] + pending[coord];
         const double g = base_value - eta * r[a];
         const double d = prox.apply(g, eta) - base_value;
-        delta[j][a] = d;
-        if (d != 0.0) pending[coord] += d;
+        delta[j * mu + a] = d;
+        if (d != 0.0) {
+          pending[coord] += d;
+          touched.push_back(coord);
+        }
       }
     }
 
@@ -241,19 +258,22 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
               ? detail::acceleration_coefficient(theta_in[t], q)
               : 0.0;
       for (std::size_t a = 0; a < mu; ++a) {
-        const double d = delta[t][a];
+        const double d = delta[t * mu + a];
         if (d == 0.0) continue;
-        const std::size_t coord = idx[t][a];
+        const std::size_t coord = idx[t * mu + a];
         z[coord] += d;
-        batches[t].add_scaled_to(a, d, z_img);
-        comm.add_flops(2 * batches[t].member_nnz(a));
+        big.add_scaled_to(t * mu + a, d, z_img);
+        comm.add_flops(2 * big.member_nnz(t * mu + a));
         if (base.accelerated) {
           y[coord] -= coeff_t * d;
-          batches[t].add_scaled_to(a, -coeff_t * d, y_img);
-          comm.add_flops(2 * batches[t].member_nnz(a));
+          big.add_scaled_to(t * mu + a, -coeff_t * d, y_img);
+          comm.add_flops(2 * big.member_nnz(t * mu + a));
         }
       }
     }
+    // Restore the pending table to all-zero for the next outer iteration.
+    for (const std::size_t coord : touched) pending[coord] = 0.0;
+
     theta = theta_in[s_eff];
     iterations_done += s_eff;
     since_trace += s_eff;
@@ -272,7 +292,7 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
     record_trace(iterations_done);
   }
 
-  result.x = current_x();
+  write_current_x(result.x);
   trace.final_stats = comm.stats();
   trace.total_wall_seconds = seconds_since(start);
   return result;

@@ -1,6 +1,7 @@
 #include "core/sa_svm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 
@@ -8,8 +9,9 @@
 #include "core/detail.hpp"
 #include "core/objective.hpp"
 #include "data/rng.hpp"
-#include "la/vector_batch.hpp"
+#include "la/batch_view.hpp"
 #include "la/vector_ops.hpp"
+#include "la/workspace.hpp"
 
 namespace sa::core {
 
@@ -53,9 +55,11 @@ SvmResult solve_sa_svm(dist::Communicator& comm,
   std::vector<double> x_loc(block.local_cols(), 0.0);
   Trace& trace = result.trace;
 
+  // Trace scratch, reused across every trace point (no fresh vectors).
+  std::vector<double> margins(m);
+
   const auto record_trace = [&](std::size_t iteration) {
     const dist::CommStats snapshot = comm.stats();
-    std::vector<double> margins(m, 0.0);
     block.matrix().spmv(x_loc, margins);
     comm.allreduce_sum(margins);
     const double x_norm_sq =
@@ -79,11 +83,13 @@ SvmResult solve_sa_svm(dist::Communicator& comm,
 
   if (base.trace_every > 0) record_trace(0);
 
-  // s-step workspace, reused across outer iterations (sizes only change
-  // on the final, shorter iteration).
-  std::vector<std::size_t> idx;
-  std::vector<double> buffer;
-  std::vector<double> theta;
+  // s-step workspace: arena-backed indices and allreduce buffer plus the
+  // θ table, sized by the first (largest) outer iteration and reused —
+  // the steady-state loop performs no heap allocation.
+  la::Workspace ws;
+  enum : std::size_t { kSlotIdx = 0 };       // index pool
+  enum : std::size_t { kSlotBuffer = 0 };    // doubles pool
+  std::vector<double> theta(s);
 
   std::size_t iterations_done = 0;
   std::size_t since_trace = 0;
@@ -93,29 +99,25 @@ SvmResult solve_sa_svm(dist::Communicator& comm,
         std::min(s, base.max_iterations - iterations_done);
 
     // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
-    idx.resize(s_eff);
+    const std::span<std::size_t> idx = ws.indices(kSlotIdx, s_eff);
     for (std::size_t t = 0; t < s_eff; ++t)
       idx[t] = static_cast<std::size_t>(rng.next_below(m));
-    const la::VectorBatch batch = block.gather_rows(idx);
+    const la::BatchView batch = block.view_rows(idx, ws);
 
-    // --- The ONE communication round: [upper(G) | Yᵀx]. ---
+    // --- The ONE communication round: [upper(G) | Yᵀx], fused straight
+    //     into the allreduce buffer (zero-copy row views). ---
     const std::size_t tri = detail::triangle_size(s_eff);
-    buffer.resize(tri + s_eff);  // fully overwritten below
-    {
-      const la::DenseMatrix g_local = batch.gram();
-      comm.add_flops(batch.gram_flops());
-      detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
-      const std::vector<double> xdots = batch.dot_all(x_loc);
-      comm.add_flops(batch.dot_all_flops());
-      std::copy(xdots.begin(), xdots.end(), buffer.begin() + tri);
-    }
+    const std::span<double> buffer = ws.doubles(kSlotBuffer, tri + s_eff);
+    const std::array<std::span<const double>, 1> rhs{
+        std::span<const double>(x_loc)};
+    la::sampled_gram_and_dots(batch, rhs, buffer);
+    comm.add_flops(batch.gram_flops() + batch.dot_all_flops());
     comm.allreduce_sum(buffer);
-    const la::DenseMatrix gram = detail::unpack_upper(
-        std::span<const double>(buffer.data(), tri), s_eff);
+    const detail::PackedUpper gram(buffer.data(), s_eff);
     const std::span<const double> xdots(buffer.data() + tri, s_eff);
 
     // --- Redundant inner iterations (equations (14)–(15)), replicated.
-    theta.assign(s_eff, 0.0);
+    std::fill(theta.begin(), theta.begin() + s_eff, 0.0);
     for (std::size_t j = 0; j < s_eff; ++j) {
       // η_j = G_jj + γ  (Algorithm 4 line 11: diag of G+γI).
       const double eta = gram(j, j) + constants.gamma;

@@ -31,14 +31,20 @@ CoordinateSampler::CoordinateSampler(std::size_t n, std::size_t block_size,
 }
 
 std::vector<std::size_t> CoordinateSampler::next() {
-  const std::size_t n = perm_.size();
   std::vector<std::size_t> out(block_size_);
+  next_into(out);
+  return out;
+}
+
+void CoordinateSampler::next_into(std::span<std::size_t> out) {
+  SA_CHECK(out.size() == block_size_,
+           "CoordinateSampler::next_into: output must have block_size entries");
+  const std::size_t n = perm_.size();
   for (std::size_t l = 0; l < block_size_; ++l) {
     const std::size_t j = l + static_cast<std::size_t>(rng_.next_below(n - l));
     std::swap(perm_[l], perm_[j]);
     out[l] = perm_[l];
   }
-  return out;
 }
 
 }  // namespace sa::data

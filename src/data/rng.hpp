@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -68,6 +69,11 @@ class CoordinateSampler {
 
   /// Returns the next block of distinct coordinate indices (draw order).
   std::vector<std::size_t> next();
+
+  /// Allocation-free variant: writes the next block into `out`, which
+  /// must have exactly block_size() entries.  Same index sequence as
+  /// next() — the two can be mixed freely.
+  void next_into(std::span<std::size_t> out);
 
  private:
   std::size_t block_size_;

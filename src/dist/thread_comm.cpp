@@ -15,10 +15,15 @@ namespace internal {
 struct TeamAborted {};
 
 struct TeamState {
-  explicit TeamState(int rank_count)
-      : ranks(rank_count), slots(rank_count), stats(rank_count) {}
+  TeamState(int rank_count, int tree_threshold_)
+      : ranks(rank_count),
+        tree_threshold(tree_threshold_),
+        slots(rank_count),
+        acc(rank_count),
+        stats(rank_count) {}
 
   const int ranks;
+  const int tree_threshold;
 
   std::mutex mu;
   std::condition_variable cv;       // barrier + task dispatch
@@ -30,9 +35,12 @@ struct TeamState {
   std::uint64_t generation = 0;
   bool aborted = false;
 
-  // Allreduce workspace: per-rank input spans and the shared result.
+  // Allreduce workspace: per-rank input spans, the shared result of the
+  // linear algorithm, and the per-rank accumulators of the tree algorithm
+  // (grow-only, so steady-state collectives do not allocate).
   std::vector<std::span<double>> slots;
   std::vector<double> scratch;
+  std::vector<std::vector<double>> acc;
   bool length_mismatch = false;
 
   // Task dispatch.
@@ -74,9 +82,16 @@ void barrier(TeamState& s) {
 }  // namespace internal
 
 void ThreadComm::do_allreduce_sum(std::span<double> data) {
-  internal::TeamState& s = state_;
   if (size_ == 1) return;  // nothing to combine, no synchronisation needed
+  if (size_ >= state_.tree_threshold) {
+    allreduce_tree(data);
+  } else {
+    allreduce_linear(data);
+  }
+}
 
+void ThreadComm::allreduce_linear(std::span<double> data) {
+  internal::TeamState& s = state_;
   const std::size_t n = data.size();
   s.slots[rank_] = data;
   internal::barrier(s, [&] {
@@ -108,9 +123,46 @@ void ThreadComm::do_allreduce_sum(std::span<double> data) {
   internal::barrier(s);  // keep scratch stable until every rank copied
 }
 
-ThreadTeam::ThreadTeam(int ranks) : ranks_(ranks) {
+void ThreadComm::allreduce_tree(std::span<double> data) {
+  internal::TeamState& s = state_;
+  const std::size_t n = data.size();
+  const std::size_t p = static_cast<std::size_t>(size_);
+  const std::size_t r = static_cast<std::size_t>(rank_);
+
+  // Stage this rank's contribution in its own accumulator (grow-only;
+  // writing own storage before the barrier is race-free).
+  s.slots[rank_] = data;
+  if (s.acc[r].size() < n) s.acc[r].resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.acc[r][i] = data[i];
+  internal::barrier(s, [&] {
+    s.length_mismatch = false;
+    for (const std::span<double>& slot : s.slots)
+      if (slot.size() != n) s.length_mismatch = true;
+  });
+  SA_CHECK(!s.length_mismatch,
+           "ThreadComm::allreduce_sum: buffer length differs across ranks");
+
+  // Binomial-tree reduction: in round `step`, rank j ≡ 0 (mod 2·step)
+  // absorbs partner j + step.  The pairing (and hence the summation
+  // grouping) is fixed, so the result is bit-deterministic — every rank
+  // later reads the same acc[0].
+  for (std::size_t step = 1; step < p; step <<= 1) {
+    if (r % (2 * step) == 0 && r + step < p) {
+      const std::vector<double>& partner = s.acc[r + step];
+      std::vector<double>& mine = s.acc[r];
+      for (std::size_t i = 0; i < n; ++i) mine[i] += partner[i];
+    }
+    internal::barrier(s);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) data[i] = s.acc[0][i];
+  internal::barrier(s);  // keep acc[0] stable until every rank copied
+}
+
+ThreadTeam::ThreadTeam(int ranks, int tree_threshold) : ranks_(ranks) {
   SA_CHECK(ranks >= 1, "ThreadTeam: need at least one rank");
-  state_ = std::make_unique<internal::TeamState>(ranks);
+  SA_CHECK(tree_threshold >= 2, "ThreadTeam: tree threshold must be >= 2");
+  state_ = std::make_unique<internal::TeamState>(ranks, tree_threshold);
   workers_.reserve(ranks);
   for (int r = 0; r < ranks; ++r)
     workers_.emplace_back([this, r] { worker_loop(r); });

@@ -2,8 +2,10 @@
 //
 // ThreadTeam owns a pool of P persistent worker threads; run(task) executes
 // `task(comm)` once on every rank and blocks until all ranks return.  The
-// collective is a barrier-synchronised shared-memory allreduce:
+// collective is a barrier-synchronised shared-memory allreduce with two
+// algorithms, selected by rank count:
 //
+// Linear (P < tree_threshold, the default regime for small teams):
 //   1. every rank publishes a span over its buffer and hits a barrier
 //      (the last arriver sizes the shared scratch vector);
 //   2. ranks cooperatively sum disjoint element chunks, each chunk
@@ -13,6 +15,18 @@
 //   3. after a second barrier every rank copies the shared result back
 //      into its own buffer, and a third barrier protects the scratch from
 //      the next collective.
+//
+// Binary reduction tree (P ≥ tree_threshold): each rank copies its buffer
+// into a per-rank accumulator, then ceil(log2 P) barrier-separated rounds
+// combine pairs with the fixed pairing of a binomial tree — in round r
+// (step 2^r), rank j with j mod 2^(r+1) == 0 accumulates partner j + 2^r.
+// This bounds every rank's read fan-in to 2 buffers per round (the linear
+// gather reads all P, which falls out of cache as teams grow) and matches
+// the ceil(log2 P)-round model the metering charges.  The pairing order
+// is fixed, so results are bit-deterministic run-to-run and identical on
+// every rank — but they differ in the last bits from the linear order
+// ((c0+c1)+(c2+c3) vs ((c0+c1)+c2)+c3), which is why small teams, whose
+// tests pin the serial left-to-right sum, stay on the linear path.
 //
 // Barriers block on a condition variable (no spinning), so oversubscribed
 // runs — more ranks than cores, the common case in tests — stay cheap.
@@ -53,16 +67,26 @@ class ThreadComm final : public Communicator {
   ThreadComm(internal::TeamState& state, int rank, int size)
       : state_(state), rank_(rank), size_(size) {}
 
+  void allreduce_linear(std::span<double> data);
+  void allreduce_tree(std::span<double> data);
+
   internal::TeamState& state_;
   int rank_ = 0;
   int size_ = 1;
 };
 
+/// Rank count at and above which ThreadTeam switches the allreduce from
+/// the rank-ordered linear gather to the binary reduction tree.
+inline constexpr int kDefaultTreeThreshold = 16;
+
 /// A pool of P worker threads acting as P communicator ranks.
 class ThreadTeam {
  public:
-  /// Spawns `ranks` persistent workers (ranks >= 1).
-  explicit ThreadTeam(int ranks);
+  /// Spawns `ranks` persistent workers (ranks >= 1).  `tree_threshold`
+  /// selects the allreduce algorithm: teams of at least that many ranks
+  /// use the binary reduction tree (pass 2 to force the tree everywhere,
+  /// or a huge value to pin the linear order).
+  explicit ThreadTeam(int ranks, int tree_threshold = kDefaultTreeThreshold);
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;

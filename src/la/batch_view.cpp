@@ -1,0 +1,362 @@
+// The single home of the batched Gram / multi-dot kernels.
+//
+// Both the zero-copy BatchView path (the s-step solvers) and the owning
+// VectorBatch path (the classical solvers, tests) call the functions in
+// this translation unit, so the two pipelines execute literally the same
+// machine code in the same accumulation order — the bit-identity the
+// parity tests assert is structural, not coincidental.
+//
+// Kernel design (unchanged from the original vector_batch.cpp engine):
+//
+//   * Dense Gram — tiled upper-triangular SYRK.  The (i, j) space is cut
+//     into 32×32 tiles, upper triangle only; inside a tile a 4×4 register
+//     micro-kernel accumulates sixteen dot products per pass over the
+//     shared dimension (eight row loads feed sixteen FMA chains, a 4× cut
+//     in memory traffic over pairwise dots), and the shared dimension is
+//     sliced into 512-double depth chunks so the eight active row
+//     segments stay L1-resident.  Tiles are independent → OpenMP
+//     schedule(dynamic) above the work threshold; each output entry is
+//     written by exactly one thread in a fixed order (deterministic).
+//   * Sparse Gram — accumulator kernel (SpGEMM row style).  Member i is
+//     scattered once into a dense per-thread accumulator; every partner
+//     dot v_i·v_j gathers through v_j's nonzeros only, and the fused dot
+//     sections v_i·x ride on the same sweep of member i.
+//
+// Output is the *packed* row-major upper triangle (plus optional dot
+// sections), written straight into the caller's allreduce buffer — the
+// full-matrix form used by VectorBatch::gram() is unpacked afterwards.
+#include "la/batch_view.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "la/vector_batch.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::la {
+
+namespace {
+
+constexpr std::size_t kGramTile = 32;  // tile edge, multiple of the 4×4 micro
+constexpr std::size_t kGramDepthChunk = 512;  // doubles per depth slice
+// kParallelFlopThreshold (vector_ops.hpp) gates OpenMP use throughout.
+
+/// Full-speed micro-kernel: the 4×4 block of dot products between rows
+/// ri[0..4) and rj[0..4), each of length d.  The omp-simd reduction
+/// licenses the compiler to vectorise the sixteen independent
+/// accumulation chains (named scalars — array reductions defeat the
+/// vectoriser) without enabling unsafe math globally; the lane order is
+/// fixed at compile time, so results stay deterministic.
+inline void micro_gram_4x4(const double* const ri[4],
+                           const double* const rj[4], std::size_t d,
+                           double out[4][4]) {
+  double a00 = 0, a01 = 0, a02 = 0, a03 = 0;
+  double a10 = 0, a11 = 0, a12 = 0, a13 = 0;
+  double a20 = 0, a21 = 0, a22 = 0, a23 = 0;
+  double a30 = 0, a31 = 0, a32 = 0, a33 = 0;
+#pragma omp simd reduction(+ : a00, a01, a02, a03, a10, a11, a12, a13, a20, \
+                               a21, a22, a23, a30, a31, a32, a33)
+  for (std::size_t p = 0; p < d; ++p) {
+    const double x0 = ri[0][p], x1 = ri[1][p], x2 = ri[2][p], x3 = ri[3][p];
+    const double y0 = rj[0][p], y1 = rj[1][p], y2 = rj[2][p], y3 = rj[3][p];
+    a00 += x0 * y0; a01 += x0 * y1; a02 += x0 * y2; a03 += x0 * y3;
+    a10 += x1 * y0; a11 += x1 * y1; a12 += x1 * y2; a13 += x1 * y3;
+    a20 += x2 * y0; a21 += x2 * y1; a22 += x2 * y2; a23 += x2 * y3;
+    a30 += x3 * y0; a31 += x3 * y1; a32 += x3 * y2; a33 += x3 * y3;
+  }
+  out[0][0] = a00; out[0][1] = a01; out[0][2] = a02; out[0][3] = a03;
+  out[1][0] = a10; out[1][1] = a11; out[1][2] = a12; out[1][3] = a13;
+  out[2][0] = a20; out[2][1] = a21; out[2][2] = a22; out[2][3] = a23;
+  out[3][0] = a30; out[3][1] = a31; out[3][2] = a32; out[3][3] = a33;
+}
+
+/// Accumulates the upper-triangular entries of G within the tile
+/// [ib, ie) × [jb, je) into the packed output (zeroed by the caller), one
+/// depth chunk at a time.  Full 4×4 blocks go through the micro-kernel
+/// (diagonal-straddling blocks waste a few lower-triangle FMAs, which is
+/// cheaper than masking); ragged edges fall back to chunked dots.  Each
+/// packed entry belongs to exactly one tile, so the accumulation is
+/// race-free and its order (chunk-major, lane-strided) is fixed.
+void dense_gram_tile(std::span<const double* const> rows, std::size_t dim,
+                     std::size_t k, double* g, std::size_t ib, std::size_t ie,
+                     std::size_t jb, std::size_t je) {
+  for (std::size_t pb = 0; pb < dim; pb += kGramDepthChunk) {
+    const std::size_t pc = std::min(kGramDepthChunk, dim - pb);
+    for (std::size_t i0 = ib; i0 < ie; i0 += 4) {
+      const std::size_t mi = std::min<std::size_t>(4, ie - i0);
+      for (std::size_t j0 = jb; j0 < je; j0 += 4) {
+        const std::size_t mj = std::min<std::size_t>(4, je - j0);
+        if (j0 + mj <= i0) continue;  // block entirely below the diagonal
+        if (mi == 4 && mj == 4) {
+          const double* ri[4] = {rows[i0] + pb, rows[i0 + 1] + pb,
+                                 rows[i0 + 2] + pb, rows[i0 + 3] + pb};
+          const double* rj[4] = {rows[j0] + pb, rows[j0 + 1] + pb,
+                                 rows[j0 + 2] + pb, rows[j0 + 3] + pb};
+          double block[4][4];
+          micro_gram_4x4(ri, rj, pc, block);
+          for (std::size_t a = 0; a < 4; ++a)
+            for (std::size_t b = 0; b < 4; ++b)
+              if (j0 + b >= i0 + a)
+                g[packed_upper_index(i0 + a, j0 + b, k)] += block[a][b];
+        } else {
+          for (std::size_t a = 0; a < mi; ++a)
+            for (std::size_t b = 0; b < mj; ++b)
+              if (j0 + b >= i0 + a)
+                g[packed_upper_index(i0 + a, j0 + b, k)] +=
+                    dot(std::span<const double>(rows[i0 + a] + pb, pc),
+                        std::span<const double>(rows[j0 + b] + pb, pc));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse kernels: grow-only, all-zero scratch for the accumulator.  Each
+// row pass restores the zeros it scatters, so the workspace stays all-zero
+// between calls and only needs zero-filling when it grows — gram() on
+// ultra-sparse high-dimensional batches (the url/news20 twins) costs
+// O(nnz) per call instead of O(dim).  thread_local gives each OpenMP
+// worker its own copy, reused across parallel regions.
+// ---------------------------------------------------------------------------
+
+std::vector<double>& sparse_gram_workspace(std::size_t dim) {
+  thread_local std::vector<double> acc;
+  if (acc.size() < dim) acc.resize(dim, 0.0);
+  return acc;
+}
+
+/// One fused row pass: scatters member i, writes its packed Gram row
+/// (entries (i, j ≥ i), contiguous in the packed layout) via the gather
+/// kernel, computes its dot-section entries, and restores the zeros.
+void sparse_fused_row(const BatchView& v, std::size_t i,
+                      std::span<const std::span<const double>> xs,
+                      std::vector<double>& acc, double* g, double* dots,
+                      std::size_t k) {
+  const std::span<const std::size_t> vi_idx = v.member_indices(i);
+  const std::span<const double> vi_val = v.member_values(i);
+  for (std::size_t p = 0; p < vi_idx.size(); ++p) acc[vi_idx[p]] = vi_val[p];
+  double* row = g + packed_upper_index(i, i, k);
+  for (std::size_t j = i; j < k; ++j) {
+    const std::span<const std::size_t> vj_idx = v.member_indices(j);
+    const std::span<const double> vj_val = v.member_values(j);
+    const std::size_t n = vj_idx.size();
+    const std::size_t n2 = n - n % 2;
+    double s0 = 0.0, s1 = 0.0;
+    for (std::size_t q = 0; q < n2; q += 2) {
+      s0 += vj_val[q] * acc[vj_idx[q]];
+      s1 += vj_val[q + 1] * acc[vj_idx[q + 1]];
+    }
+    double s = s0 + s1;
+    if (n2 < n) s += vj_val[n2] * acc[vj_idx[n2]];
+    row[j - i] = s;
+  }
+  // Fused dot sections: v_i · x, accumulated in the same sequential order
+  // as the sparse-dense dot kernel (sparse_vector.cpp) — bit-identical to
+  // the separate dot_all pass it replaces.
+  for (std::size_t sct = 0; sct < xs.size(); ++sct) {
+    const std::span<const double> x = xs[sct];
+    double acc_dot = 0.0;
+    for (std::size_t p = 0; p < vi_idx.size(); ++p)
+      acc_dot += vi_val[p] * x[vi_idx[p]];
+    dots[sct * k + i] = acc_dot;
+  }
+  for (std::size_t p = 0; p < vi_idx.size(); ++p) acc[vi_idx[p]] = 0.0;
+}
+
+}  // namespace
+
+BatchView BatchView::dense(std::span<const double* const> rows,
+                           std::size_t dim) {
+  BatchView v;
+  v.storage_ = Storage::kDense;
+  v.rows_ = rows;
+  v.dim_ = dim;
+  return v;
+}
+
+BatchView BatchView::sparse(
+    std::span<const std::span<const std::size_t>> indices,
+    std::span<const std::span<const double>> values, std::size_t dim) {
+  SA_CHECK(indices.size() == values.size(),
+           "BatchView::sparse: indices/values member count mismatch");
+  BatchView v;
+  v.storage_ = Storage::kSparse;
+  v.idx_ = indices;
+  v.val_ = values;
+  v.dim_ = dim;
+  return v;
+}
+
+BatchView BatchView::of(const DenseMatrix& rows_as_vectors, Workspace& ws) {
+  const std::size_t k = rows_as_vectors.rows();
+  std::span<const double*> rows = ws.member_rows(k);
+  for (std::size_t i = 0; i < k; ++i)
+    rows[i] = rows_as_vectors.row(i).data();
+  return dense(rows, rows_as_vectors.cols());
+}
+
+BatchView BatchView::of_rows(const DenseMatrix& m,
+                             std::span<const std::size_t> rows,
+                             Workspace& ws) {
+  std::span<const double*> ptrs = ws.member_rows(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SA_CHECK(rows[i] < m.rows(), "BatchView::of_rows: row out of range");
+    ptrs[i] = m.row(rows[i]).data();
+  }
+  return dense(ptrs, m.cols());
+}
+
+BatchView BatchView::of(const VectorBatch& batch, Workspace& ws) {
+  if (batch.is_dense()) return of(batch.dense_matrix(), ws);
+  const std::span<const SparseVector> members = batch.sparse_members();
+  std::span<std::span<const std::size_t>> idx =
+      ws.member_index_spans(members.size());
+  std::span<std::span<const double>> val =
+      ws.member_value_spans(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    idx[i] = members[i].indices;
+    val[i] = members[i].values;
+  }
+  return sparse(idx, val, batch.dim());
+}
+
+std::size_t BatchView::nnz() const {
+  if (is_dense()) return size() * dim_;
+  std::size_t total = 0;
+  for (const auto& m : idx_) total += m.size();
+  return total;
+}
+
+void BatchView::add_scaled_to(std::size_t i, double alpha,
+                              std::span<double> target) const {
+  SA_CHECK(i < size(), "BatchView::add_scaled_to: index out of range");
+  SA_CHECK(target.size() == dim_,
+           "BatchView::add_scaled_to: length mismatch");
+  if (is_dense()) {
+    axpy(alpha, dense_row(i), target);
+    return;
+  }
+  const std::span<const std::size_t> idx = idx_[i];
+  const std::span<const double> val = val_[i];
+  for (std::size_t p = 0; p < idx.size(); ++p)
+    target[idx[p]] += alpha * val[p];
+}
+
+std::size_t BatchView::gram_flops() const {
+  const std::size_t k = size();
+  if (is_dense()) return k * (k + 1) * dim_;
+  // Accumulator kernel: the pair (i, j) gathers through v_j's nonzeros
+  // (one multiply + one add each), so the cost is Σ_j 2·(j+1)·nnz_j.
+  std::size_t flops = 0;
+  for (std::size_t j = 0; j < k; ++j) flops += 2 * (j + 1) * idx_[j].size();
+  return flops;
+}
+
+std::size_t BatchView::dot_all_flops() const { return 2 * nnz(); }
+
+std::size_t fused_buffer_size(std::size_t k, std::size_t sections) {
+  return k * (k + 1) / 2 + sections * k;
+}
+
+void sampled_gram_and_dots(const BatchView& y,
+                           std::span<const std::span<const double>> xs,
+                           std::span<double> out) {
+  const std::size_t k = y.size();
+  const std::size_t d = y.dim();
+  SA_CHECK(out.size() == fused_buffer_size(k, xs.size()),
+           "sampled_gram_and_dots: buffer size mismatch");
+  for (const std::span<const double>& x : xs)
+    SA_CHECK(x.size() == d, "sampled_gram_and_dots: rhs length mismatch");
+  if (k == 0) return;
+  const std::size_t tri = k * (k + 1) / 2;
+  double* g = out.data();
+  double* dots = out.data() + tri;
+
+  if (y.is_dense()) {
+    // Gram: upper-triangle tile pairs, iterated by flat index (no
+    // materialised pair list — this runs once per outer iteration and must
+    // not allocate).  Tiles are independent, so the visiting order does
+    // not affect any output value.
+    std::fill(out.begin(), out.begin() + tri, 0.0);
+    const std::size_t tiles = (k + kGramTile - 1) / kGramTile;
+    const std::size_t tile_pairs = tiles * (tiles + 1) / 2;
+    const bool parallel = k * (k + 1) * d / 2 >= kParallelFlopThreshold;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (parallel)
+#endif
+    for (std::ptrdiff_t t = 0; t < static_cast<std::ptrdiff_t>(tile_pairs);
+         ++t) {
+      // Invert the packed upper-triangle index: find the tile row ti whose
+      // range of flat indices contains t (tiles is small — a short scan).
+      std::size_t ti = 0;
+      std::size_t row_start = 0;
+      while (row_start + (tiles - ti) <= static_cast<std::size_t>(t)) {
+        row_start += tiles - ti;
+        ++ti;
+      }
+      const std::size_t tj = ti + (static_cast<std::size_t>(t) - row_start);
+      const std::size_t ib = ti * kGramTile;
+      const std::size_t jb = tj * kGramTile;
+      dense_gram_tile(y.row_pointers(), d, k, g, ib,
+                      std::min(ib + kGramTile, k), jb,
+                      std::min(jb + kGramTile, k));
+    }
+    (void)parallel;
+    // Dot sections: same per-member kernel and schedule as dot_all.
+    for (std::size_t sct = 0; sct < xs.size(); ++sct)
+      batch_dots(y, xs[sct], std::span<double>(dots + sct * k, k));
+    return;
+  }
+
+  // Sparse: one fused sweep per member — Gram row + dot entries together.
+  const std::size_t total_nnz = y.nnz();
+  const bool parallel = k * total_nnz >= kParallelFlopThreshold && k > 1;
+#ifdef _OPENMP
+#pragma omp parallel if (parallel)
+  {
+    std::vector<double>& acc = sparse_gram_workspace(d);
+#pragma omp for schedule(dynamic)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
+      sparse_fused_row(y, static_cast<std::size_t>(i), xs, acc, g, dots, k);
+  }
+#else
+  (void)parallel;
+  std::vector<double>& acc = sparse_gram_workspace(d);
+  for (std::size_t i = 0; i < k; ++i)
+    sparse_fused_row(y, i, xs, acc, g, dots, k);
+#endif
+}
+
+void batch_dots(const BatchView& y, std::span<const double> x,
+                std::span<double> out) {
+  SA_CHECK(x.size() == y.dim(), "batch_dots: length mismatch");
+  SA_CHECK(out.size() == y.size(), "batch_dots: output length mismatch");
+  const std::size_t k = y.size();
+  const bool parallel = 2 * y.nnz() >= kParallelFlopThreshold && k > 1;
+  if (y.is_dense()) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (parallel)
+#endif
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
+      out[i] = dot(y.dense_row(static_cast<std::size_t>(i)), x);
+  } else {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (parallel)
+#endif
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
+      // Same sequential accumulation order as dot(SparseVector, span).
+      const std::span<const std::size_t> idx =
+          y.member_indices(static_cast<std::size_t>(i));
+      const std::span<const double> val =
+          y.member_values(static_cast<std::size_t>(i));
+      double acc = 0.0;
+      for (std::size_t p = 0; p < idx.size(); ++p)
+        acc += val[p] * x[idx[p]];
+      out[i] = acc;
+    }
+  }
+  (void)parallel;
+}
+
+}  // namespace sa::la

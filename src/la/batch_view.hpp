@@ -1,0 +1,143 @@
+// Non-owning view over a batch of sampled vectors + the fused Gram kernel.
+//
+// BatchView is the zero-copy counterpart of VectorBatch: instead of
+// gathering the s·µ sampled columns into freshly allocated storage every
+// outer iteration, a view describes the members in place — sparse members
+// as (indices, values) span pairs aliasing the already-materialised
+// CSC/CSR arrays, dense members as row pointers (into a DenseMatrix or a
+// Workspace staging area).  The descriptor arrays themselves live in a
+// la::Workspace, so building a view performs no heap allocation in steady
+// state.
+//
+// sampled_gram_and_dots() is the one kernel the s-step solvers need per
+// outer iteration: it computes the packed upper-triangular Gram of the
+// view AND the dot sections Yᵀx for each right-hand side directly into
+// the allreduce buffer, wire format
+//
+//   [ upper(G) | Yᵀx₀ | Yᵀx₁ | … ]
+//
+// (row-major upper triangle, then one length-k section per right-hand
+// side).  For sparse views the dots are fused into the same sweep that
+// forms the Gram rows; for dense views the kernel skips the gather/concat
+// copies and the pack_upper round-trip of the copy-based path.
+//
+// Bit-compatibility contract: the kernels here are the *only*
+// implementation of the batched Gram/dot arithmetic — VectorBatch::gram()
+// and VectorBatch::dot_all() route through them — so the view-based and
+// copy-based paths produce bit-identical results by construction (same
+// code, same accumulation order, one translation unit).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "la/sparse_vector.hpp"
+#include "la/workspace.hpp"
+
+namespace sa::la {
+
+class VectorBatch;
+
+/// Non-owning batch of k vectors, each of logical length dim().
+class BatchView {
+ public:
+  BatchView() = default;
+
+  /// Dense members: rows[i] points at a contiguous length-dim vector.
+  static BatchView dense(std::span<const double* const> rows,
+                         std::size_t dim);
+
+  /// Sparse members: (indices[i], values[i]) describe member i; indices
+  /// are strictly increasing positions in [0, dim).
+  static BatchView sparse(std::span<const std::span<const std::size_t>> indices,
+                          std::span<const std::span<const double>> values,
+                          std::size_t dim);
+
+  /// View over all rows of a dense matrix (descriptors from `ws`).
+  static BatchView of(const DenseMatrix& rows_as_vectors, Workspace& ws);
+
+  /// View over selected rows of a dense matrix (descriptors from `ws`).
+  static BatchView of_rows(const DenseMatrix& m,
+                           std::span<const std::size_t> rows, Workspace& ws);
+
+  /// View over a VectorBatch (either storage kind; descriptors from `ws`).
+  static BatchView of(const VectorBatch& batch, Workspace& ws);
+
+  std::size_t size() const {
+    return is_dense() ? rows_.size() : idx_.size();
+  }
+  std::size_t dim() const { return dim_; }
+  bool is_dense() const { return storage_ == Storage::kDense; }
+
+  /// Total nonzeros across the batch (k·dim for dense views).
+  std::size_t nnz() const;
+
+  /// Member i as a contiguous span (requires is_dense()).
+  std::span<const double> dense_row(std::size_t i) const {
+    return std::span<const double>(rows_[i], dim_);
+  }
+  /// All dense member row pointers (requires is_dense()).
+  std::span<const double* const> row_pointers() const { return rows_; }
+  std::span<const std::size_t> member_indices(std::size_t i) const {
+    return idx_[i];
+  }
+  std::span<const double> member_values(std::size_t i) const {
+    return val_[i];
+  }
+
+  /// Nonzeros of member i (dim() for dense views).  O(1).
+  std::size_t member_nnz(std::size_t i) const {
+    return is_dense() ? dim_ : idx_[i].size();
+  }
+
+  /// target := target + alpha · v_i  (same accumulation order as the
+  /// VectorBatch/SparseVector axpy kernels — bit-identical updates).
+  void add_scaled_to(std::size_t i, double alpha,
+                     std::span<double> target) const;
+
+  /// Flops of the packed Gram kernel on this view; identical formulas to
+  /// VectorBatch::gram_flops() (dense k(k+1)·dim, sparse Σ_j 2(j+1)·nnz_j).
+  std::size_t gram_flops() const;
+
+  /// Flops of one dot section (2·nnz), matching VectorBatch::dot_all_flops.
+  std::size_t dot_all_flops() const;
+
+ private:
+  enum class Storage { kDense, kSparse };
+  Storage storage_ = Storage::kDense;
+
+  std::span<const double* const> rows_;                    // dense members
+  std::span<const std::span<const std::size_t>> idx_;      // sparse members
+  std::span<const std::span<const double>> val_;
+  std::size_t dim_ = 0;
+};
+
+/// Index of entry (i, j), j ≥ i, in the row-major packed upper triangle
+/// of a k×k symmetric matrix — the wire format the fused kernel writes
+/// and the solvers read back (row i starts at i·k − i(i−1)/2).  The one
+/// definition of the packed layout; keep every reader on it.
+inline std::size_t packed_upper_index(std::size_t i, std::size_t j,
+                                      std::size_t k) {
+  return i * k - i * (i + 1) / 2 + j;
+}
+
+/// Size of the fused buffer for k members and `sections` right-hand sides:
+/// k(k+1)/2 packed Gram entries plus sections·k dot entries.
+std::size_t fused_buffer_size(std::size_t k, std::size_t sections);
+
+/// The fused kernel: writes [upper(G) | Yᵀxs[0] | Yᵀxs[1] | …] into `out`.
+/// Each xs[i] must have length dim(); out must have exactly
+/// fused_buffer_size(size(), xs.size()) entries.  Deterministic: every
+/// output entry is produced by exactly one thread in a fixed accumulation
+/// order.  With xs empty this is a packed-Gram kernel.
+void sampled_gram_and_dots(const BatchView& y,
+                           std::span<const std::span<const double>> xs,
+                           std::span<double> out);
+
+/// Dot section only:  out[i] = v_i · x  (the dot_all kernel).
+void batch_dots(const BatchView& y, std::span<const double> x,
+                std::span<double> out);
+
+}  // namespace sa::la

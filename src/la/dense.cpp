@@ -20,6 +20,12 @@ DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols,
 
 void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
+void DenseMatrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 DenseMatrix DenseMatrix::transposed() const {
   DenseMatrix t(cols_, rows_);
   for (std::size_t i = 0; i < rows_; ++i)

@@ -50,6 +50,13 @@ class DenseMatrix {
   /// Sets every entry to zero.
   void set_zero();
 
+  /// Reshapes to rows×cols in place, reusing the existing storage
+  /// (grow-only capacity: shrinking never frees, regrowing within the
+  /// high-water mark never allocates).  Contents are unspecified after a
+  /// reshape — callers overwrite.  Used by the s-step solvers to reuse one
+  /// scratch matrix across variable-size diagonal blocks.
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// Returns the transpose as a new matrix.
   DenseMatrix transposed() const;
 

@@ -32,6 +32,31 @@ struct PowerIterationOptions {
 double largest_eigenvalue_psd(const DenseMatrix& a,
                               const PowerIterationOptions& options = {});
 
+/// Grow-only work storage for the allocation-free eigensolver entry point
+/// below.  One instance per solver, reused across every µ×µ solve.
+struct EigenScratch {
+  std::vector<double> v;
+  std::vector<double> w;
+  std::vector<double> aw;
+  DenseMatrix jacobi_a;  ///< rotation workspace of the Jacobi fallback
+
+  /// Pre-sizes every buffer for matrices up to n×n, so even a first
+  /// fallback in a late iteration allocates nothing.
+  void reserve(std::size_t n) {
+    v.reserve(n);
+    w.reserve(n);
+    aw.reserve(n);
+    jacobi_a.reshape(n, n);
+  }
+};
+
+/// Identical arithmetic to largest_eigenvalue_psd(a, options) — same start
+/// vector, same iteration, same Jacobi fallback rotations — but all work
+/// storage comes from `scratch`, so steady-state calls perform no heap
+/// allocation.
+double largest_eigenvalue_psd(const DenseMatrix& a, EigenScratch& scratch,
+                              const PowerIterationOptions& options = {});
+
 /// Returns all eigenvalues of a symmetric matrix in ascending order using
 /// the cyclic Jacobi method (no eigenvectors).
 std::vector<double> jacobi_eigenvalues(DenseMatrix a,

@@ -4,200 +4,15 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "la/batch_view.hpp"
 #include "la/vector_ops.hpp"
 
+// The batched Gram / multi-dot arithmetic lives in batch_view.cpp — one
+// translation unit shared with the zero-copy BatchView path, so the owning
+// and view-based pipelines are bit-identical by construction.  This file
+// only adapts VectorBatch storage to that engine.
+
 namespace sa::la {
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Dense Gram: tiled upper-triangular SYRK.
-//
-// G = V·Vᵀ is computed tile by tile over the (i, j) index space, upper
-// triangle only.  Inside a tile a 4×4 register micro-kernel accumulates
-// sixteen dot products per pass over the shared dimension: eight row loads
-// feed sixteen FMAs, a 4× reduction in memory traffic against the naive
-// pairwise-dot loop (two loads per FMA) — the BLAS-3 cache effect the
-// paper credits for its computation speedups.  The shared dimension is
-// additionally cut into depth chunks so the eight active row segments
-// (2 × 4 rows × 512 doubles = 32 KiB) stay L1-resident while the tile's
-// micro-blocks re-read them, instead of streaming full 32 KiB+ rows from
-// L2/L3 once per micro-block.  Tiles are independent, so OpenMP
-// distributes them dynamically when the batch is large enough to
-// amortise the fork.
-// ---------------------------------------------------------------------------
-
-constexpr std::size_t kGramTile = 32;  // tile edge, multiple of the 4×4 micro
-constexpr std::size_t kGramDepthChunk = 512;  // doubles per depth slice
-// kParallelFlopThreshold (vector_ops.hpp) gates OpenMP use throughout.
-
-/// Full-speed micro-kernel: the 4×4 block of dot products between rows
-/// ri[0..4) and rj[0..4), each of length d.  The omp-simd reduction
-/// licenses the compiler to vectorise the sixteen independent
-/// accumulation chains (named scalars — array reductions defeat the
-/// vectoriser) without enabling unsafe math globally; the lane order is
-/// fixed at compile time, so results stay deterministic.
-inline void micro_gram_4x4(const double* const ri[4],
-                           const double* const rj[4], std::size_t d,
-                           double out[4][4]) {
-  double a00 = 0, a01 = 0, a02 = 0, a03 = 0;
-  double a10 = 0, a11 = 0, a12 = 0, a13 = 0;
-  double a20 = 0, a21 = 0, a22 = 0, a23 = 0;
-  double a30 = 0, a31 = 0, a32 = 0, a33 = 0;
-#pragma omp simd reduction(+ : a00, a01, a02, a03, a10, a11, a12, a13, a20, \
-                               a21, a22, a23, a30, a31, a32, a33)
-  for (std::size_t p = 0; p < d; ++p) {
-    const double x0 = ri[0][p], x1 = ri[1][p], x2 = ri[2][p], x3 = ri[3][p];
-    const double y0 = rj[0][p], y1 = rj[1][p], y2 = rj[2][p], y3 = rj[3][p];
-    a00 += x0 * y0; a01 += x0 * y1; a02 += x0 * y2; a03 += x0 * y3;
-    a10 += x1 * y0; a11 += x1 * y1; a12 += x1 * y2; a13 += x1 * y3;
-    a20 += x2 * y0; a21 += x2 * y1; a22 += x2 * y2; a23 += x2 * y3;
-    a30 += x3 * y0; a31 += x3 * y1; a32 += x3 * y2; a33 += x3 * y3;
-  }
-  out[0][0] = a00; out[0][1] = a01; out[0][2] = a02; out[0][3] = a03;
-  out[1][0] = a10; out[1][1] = a11; out[1][2] = a12; out[1][3] = a13;
-  out[2][0] = a20; out[2][1] = a21; out[2][2] = a22; out[2][3] = a23;
-  out[3][0] = a30; out[3][1] = a31; out[3][2] = a32; out[3][3] = a33;
-}
-
-/// Computes the upper-triangular entries of G within the tile
-/// [ib, ie) × [jb, je), accumulating into g (zero-initialised by the
-/// caller) one depth chunk at a time.  Full 4×4 blocks go through the
-/// micro-kernel (diagonal-straddling blocks waste a few lower-triangle
-/// FMAs, which is cheaper than masking); ragged edges fall back to
-/// chunked dots.  Each g entry belongs to exactly one tile, so the
-/// accumulation is race-free and its order (chunk-major, lane-strided)
-/// is fixed — results stay deterministic.
-void dense_gram_tile(const DenseMatrix& v, DenseMatrix& g, std::size_t ib,
-                     std::size_t ie, std::size_t jb, std::size_t je) {
-  const std::size_t d = v.cols();
-  for (std::size_t pb = 0; pb < d; pb += kGramDepthChunk) {
-    const std::size_t pc = std::min(kGramDepthChunk, d - pb);
-    for (std::size_t i0 = ib; i0 < ie; i0 += 4) {
-      const std::size_t mi = std::min<std::size_t>(4, ie - i0);
-      for (std::size_t j0 = jb; j0 < je; j0 += 4) {
-        const std::size_t mj = std::min<std::size_t>(4, je - j0);
-        if (j0 + mj <= i0) continue;  // block entirely below the diagonal
-        if (mi == 4 && mj == 4) {
-          const double* ri[4] = {
-              v.row(i0).data() + pb, v.row(i0 + 1).data() + pb,
-              v.row(i0 + 2).data() + pb, v.row(i0 + 3).data() + pb};
-          const double* rj[4] = {
-              v.row(j0).data() + pb, v.row(j0 + 1).data() + pb,
-              v.row(j0 + 2).data() + pb, v.row(j0 + 3).data() + pb};
-          double block[4][4];
-          micro_gram_4x4(ri, rj, pc, block);
-          for (std::size_t a = 0; a < 4; ++a)
-            for (std::size_t b = 0; b < 4; ++b)
-              if (j0 + b >= i0 + a) g(i0 + a, j0 + b) += block[a][b];
-        } else {
-          for (std::size_t a = 0; a < mi; ++a)
-            for (std::size_t b = 0; b < mj; ++b)
-              if (j0 + b >= i0 + a)
-                g(i0 + a, j0 + b) += dot(v.row(i0 + a).subspan(pb, pc),
-                                         v.row(j0 + b).subspan(pb, pc));
-        }
-      }
-    }
-  }
-}
-
-DenseMatrix dense_gram(const DenseMatrix& v) {
-  const std::size_t k = v.rows();
-  const std::size_t d = v.cols();
-  DenseMatrix g(k, k);
-
-  // Upper-triangle tile pairs, flattened for dynamic scheduling.
-  const std::size_t tiles = (k + kGramTile - 1) / kGramTile;
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  pairs.reserve(tiles * (tiles + 1) / 2);
-  for (std::size_t ti = 0; ti < tiles; ++ti)
-    for (std::size_t tj = ti; tj < tiles; ++tj) pairs.emplace_back(ti, tj);
-
-  const bool parallel = k * (k + 1) * d / 2 >= kParallelFlopThreshold;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic) if (parallel)
-#endif
-  for (std::ptrdiff_t t = 0;
-       t < static_cast<std::ptrdiff_t>(pairs.size()); ++t) {
-    const std::size_t ib = pairs[t].first * kGramTile;
-    const std::size_t jb = pairs[t].second * kGramTile;
-    dense_gram_tile(v, g, ib, std::min(ib + kGramTile, k), jb,
-                    std::min(jb + kGramTile, k));
-  }
-  (void)parallel;
-  return g;
-}
-
-// ---------------------------------------------------------------------------
-// Sparse Gram: accumulator kernel (SpGEMM row style).
-//
-// For each row i the pattern of v_i is scattered once into a dense
-// accumulator; every partner dot v_i·v_j then gathers through v_j's
-// nonzeros only — a branch-free indexed loop instead of the O(nnz_i+nnz_j)
-// two-pointer merge per pair.  The accumulator is cleared by re-walking
-// v_i's indices, so the workspace cost stays O(nnz_i) per row after the
-// one-time allocation.  Rows are independent: OpenMP parallelises over i
-// with one accumulator per thread.
-// ---------------------------------------------------------------------------
-
-/// Grow-only, all-zero scratch for the accumulator kernel.  Each
-/// sparse_gram_row restores the zeros it scatters, so the workspace stays
-/// all-zero between calls and only needs zero-filling when it grows —
-/// gram() on ultra-sparse high-dimensional batches (the url/news20 twins)
-/// costs O(nnz) per call instead of O(dim).  thread_local gives each
-/// OpenMP worker its own copy, reused across parallel regions.
-std::vector<double>& sparse_gram_workspace(std::size_t dim) {
-  thread_local std::vector<double> acc;
-  if (acc.size() < dim) acc.resize(dim, 0.0);
-  return acc;
-}
-
-void sparse_gram_row(const std::vector<SparseVector>& vs, std::size_t i,
-                     std::vector<double>& acc, DenseMatrix& g) {
-  const SparseVector& vi = vs[i];
-  for (std::size_t p = 0; p < vi.nnz(); ++p) acc[vi.indices[p]] = vi.values[p];
-  for (std::size_t j = i; j < vs.size(); ++j) {
-    const SparseVector& vj = vs[j];
-    const std::size_t n = vj.nnz();
-    const std::size_t n2 = n - n % 2;
-    double s0 = 0.0, s1 = 0.0;
-    for (std::size_t q = 0; q < n2; q += 2) {
-      s0 += vj.values[q] * acc[vj.indices[q]];
-      s1 += vj.values[q + 1] * acc[vj.indices[q + 1]];
-    }
-    double s = s0 + s1;
-    if (n2 < n) s += vj.values[n2] * acc[vj.indices[n2]];
-    g(i, j) = s;
-  }
-  for (std::size_t p = 0; p < vi.nnz(); ++p) acc[vi.indices[p]] = 0.0;
-}
-
-DenseMatrix sparse_gram(const std::vector<SparseVector>& vs,
-                        std::size_t dim) {
-  const std::size_t k = vs.size();
-  DenseMatrix g(k, k);
-  std::size_t total_nnz = 0;
-  for (const SparseVector& v : vs) total_nnz += v.nnz();
-  const bool parallel = k * total_nnz >= kParallelFlopThreshold && k > 1;
-
-#ifdef _OPENMP
-#pragma omp parallel if (parallel)
-  {
-    std::vector<double>& acc = sparse_gram_workspace(dim);
-#pragma omp for schedule(dynamic)
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
-      sparse_gram_row(vs, static_cast<std::size_t>(i), acc, g);
-  }
-#else
-  (void)parallel;
-  std::vector<double>& acc = sparse_gram_workspace(dim);
-  for (std::size_t i = 0; i < k; ++i) sparse_gram_row(vs, i, acc, g);
-#endif
-  return g;
-}
-
-}  // namespace
 
 VectorBatch VectorBatch::dense(DenseMatrix vectors_as_rows) {
   VectorBatch b;
@@ -244,35 +59,29 @@ std::span<const SparseVector> VectorBatch::sparse_members() const {
 
 DenseMatrix VectorBatch::gram(double diag_shift) const {
   const std::size_t k = size();
-  DenseMatrix g =
-      is_dense() ? dense_gram(dense_) : sparse_gram(sparse_, dim_);
-  if (diag_shift != 0.0)
-    for (std::size_t i = 0; i < k; ++i) g(i, i) += diag_shift;
-  // Mirror the computed upper triangle into the lower one.
-  for (std::size_t i = 0; i < k; ++i)
-    for (std::size_t j = i + 1; j < k; ++j) g(j, i) = g(i, j);
+  Workspace ws;
+  const BatchView view = BatchView::of(*this, ws);
+  std::vector<double> packed(k * (k + 1) / 2);
+  sampled_gram_and_dots(view, {}, packed);
+  // Unpack into the full symmetric matrix the classical solvers expect.
+  DenseMatrix g(k, k);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      g(i, j) = packed[p];
+      g(j, i) = packed[p];
+      ++p;
+    }
+    g(i, i) += diag_shift;
+  }
   return g;
 }
 
 std::vector<double> VectorBatch::dot_all(std::span<const double> x) const {
   SA_CHECK(x.size() == dim_, "dot_all: length mismatch");
-  const std::size_t k = size();
-  std::vector<double> out(k);
-  const bool parallel = 2 * nnz() >= kParallelFlopThreshold && k > 1;
-  if (is_dense()) {
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) if (parallel)
-#endif
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
-      out[i] = la::dot(dense_.row(i), x);
-  } else {
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic) if (parallel)
-#endif
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
-      out[i] = la::dot(sparse_[i], x);
-  }
-  (void)parallel;
+  std::vector<double> out(size());
+  Workspace ws;
+  batch_dots(BatchView::of(*this, ws), x, out);
   return out;
 }
 
@@ -326,8 +135,7 @@ std::size_t VectorBatch::gram_flops() const {
   // (one multiply + one add each), so the cost is
   //   Σ_i Σ_{j≥i} 2·nnz_j  =  Σ_j 2·(j+1)·nnz_j,
   // independent of nnz_i (the scatter/clear walks move data but perform no
-  // arithmetic).  This replaces the old 2·min(nnz_i, nnz_j) estimate,
-  // which modelled a best-case merge and undercounted the real kernel.
+  // arithmetic).
   std::size_t flops = 0;
   for (std::size_t j = 0; j < k; ++j)
     flops += 2 * (j + 1) * sparse_[j].nnz();

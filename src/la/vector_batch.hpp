@@ -12,7 +12,9 @@
 // accumulator kernel (SpGEMM row style) for sparse storage.  Both
 // parallelise with OpenMP above a fixed work threshold and are
 // deterministic for a given batch (each Gram entry is accumulated in a
-// fixed order by exactly one thread).
+// fixed order by exactly one thread).  The kernels themselves live in
+// batch_view.cpp and are shared with the zero-copy BatchView pipeline, so
+// the owning and view-based paths are bit-identical.
 //
 // All kernels report the number of floating-point operations they perform
 // so the distributed solvers can meter work for the α-β-γ cost model.

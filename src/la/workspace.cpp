@@ -1,0 +1,45 @@
+#include "la/workspace.hpp"
+
+namespace sa::la {
+
+std::span<double> Workspace::doubles(std::size_t slot, std::size_t n) {
+  if (double_slots_.size() <= slot) double_slots_.resize(slot + 1);
+  return grab(double_slots_[slot], n);
+}
+
+std::span<std::size_t> Workspace::indices(std::size_t slot, std::size_t n) {
+  if (index_slots_.size() <= slot) index_slots_.resize(slot + 1);
+  return grab(index_slots_[slot], n);
+}
+
+std::span<std::span<const std::size_t>> Workspace::member_index_spans(
+    std::size_t k) {
+  return grab(idx_spans_, k);
+}
+
+std::span<std::span<const double>> Workspace::member_value_spans(
+    std::size_t k) {
+  return grab(val_spans_, k);
+}
+
+std::span<const double*> Workspace::member_rows(std::size_t k) {
+  return grab(row_ptrs_, k);
+}
+
+std::span<double> Workspace::dense_stage(std::size_t n) {
+  return grab(stage_, n);
+}
+
+std::size_t Workspace::bytes_reserved() const {
+  std::size_t bytes = 0;
+  for (const auto& v : double_slots_) bytes += v.capacity() * sizeof(double);
+  for (const auto& v : index_slots_)
+    bytes += v.capacity() * sizeof(std::size_t);
+  bytes += idx_spans_.capacity() * sizeof(std::span<const std::size_t>);
+  bytes += val_spans_.capacity() * sizeof(std::span<const double>);
+  bytes += row_ptrs_.capacity() * sizeof(const double*);
+  bytes += stage_.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace sa::la

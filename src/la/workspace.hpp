@@ -1,0 +1,78 @@
+// Grow-only scratch arena for the s-step hot path.
+//
+// The SA solvers run the same outer iteration thousands of times with
+// near-constant working-set sizes (s·µ indices, the packed Gram buffer,
+// delta blocks, the pending-update table).  Workspace turns all of those
+// per-iteration allocations into one-time ones: every accessor returns a
+// span over an internally retained buffer that only ever grows, so after
+// the first (largest) outer iteration the solve performs zero heap
+// allocations in steady state.
+//
+// Two kinds of storage:
+//   * named pools (`member_index_spans`, `member_value_spans`,
+//     `member_rows`, `dense_stage`) back the BatchView descriptors that
+//     RowBlock/ColBlock::view_* hand out — named, so view builders can
+//     never collide with solver scratch;
+//   * slot-addressed pools (`doubles`, `indices`) are general solver
+//     scratch.  Slot ids are caller-managed; each solver owns its
+//     Workspace instance, so a local enum of slot names suffices.
+//
+// Contents persist across calls: requesting (slot, n) again returns the
+// same underlying memory, with any newly grown tail zero-initialised.
+// That makes a slot suitable for state that must survive iterations (the
+// pending-update table relies on it).  A span stays valid until its slot
+// is requested with a larger n.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sa::la {
+
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // Non-copyable: spans handed out alias internal storage.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Slot-addressed double scratch; grown tail is zero-initialised.
+  std::span<double> doubles(std::size_t slot, std::size_t n);
+
+  /// Slot-addressed index scratch; grown tail is zero-initialised.
+  std::span<std::size_t> indices(std::size_t slot, std::size_t n);
+
+  /// Storage for k sparse-member index descriptors (BatchView::sparse).
+  std::span<std::span<const std::size_t>> member_index_spans(std::size_t k);
+
+  /// Storage for k sparse-member value descriptors (BatchView::sparse).
+  std::span<std::span<const double>> member_value_spans(std::size_t k);
+
+  /// Storage for k dense-member row pointers (BatchView::dense).
+  std::span<const double*> member_rows(std::size_t k);
+
+  /// Densification staging area for dense-mode views (k·dim doubles).
+  std::span<double> dense_stage(std::size_t n);
+
+  /// Total bytes currently reserved across every pool — stable in steady
+  /// state, which is what the zero-allocation tests assert.
+  std::size_t bytes_reserved() const;
+
+ private:
+  template <typename T>
+  static std::span<T> grab(std::vector<T>& pool, std::size_t n) {
+    if (pool.size() < n) pool.resize(n);
+    return std::span<T>(pool.data(), n);
+  }
+
+  std::vector<std::vector<double>> double_slots_;
+  std::vector<std::vector<std::size_t>> index_slots_;
+  std::vector<std::span<const std::size_t>> idx_spans_;
+  std::vector<std::span<const double>> val_spans_;
+  std::vector<const double*> row_ptrs_;
+  std::vector<double> stage_;
+};
+
+}  // namespace sa::la

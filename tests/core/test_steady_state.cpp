@@ -1,0 +1,124 @@
+// Steady-state allocation tests: the s-step solvers size their arena in
+// the first (largest) outer iteration and must not touch the heap again —
+// the zero-copy pipeline's whole point is that the inner loop is pure
+// compute.  The global operator new is replaced with a counting shim, and
+// a long solve must allocate exactly as much as a one-outer-iteration
+// solve (identical setup, 20+ extra steady-state iterations, zero extra
+// allocations).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "core/sa_group_lasso.hpp"
+#include "core/sa_lasso.hpp"
+#include "core/sa_svm.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sa::core {
+namespace {
+
+template <typename F>
+std::size_t allocations_during(F&& f) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  f();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+data::Dataset regression_problem() {
+  data::RegressionConfig cfg;
+  cfg.num_points = 80;
+  cfg.num_features = 32;
+  cfg.density = 0.3;
+  cfg.support_size = 6;
+  cfg.seed = 17;
+  return data::make_regression(cfg).dataset;
+}
+
+TEST(SteadyState, SaLassoAllocatesOnlyInTheFirstOuterIteration) {
+  const data::Dataset d = regression_problem();
+  const auto run = [&](std::size_t iterations, bool accelerated) {
+    SaLassoOptions sa;
+    sa.base.lambda = 0.05;
+    sa.base.block_size = 2;
+    sa.base.accelerated = accelerated;
+    sa.base.max_iterations = iterations;
+    sa.base.trace_every = 0;  // tracing is instrumentation, not hot path
+    sa.s = 4;
+    return allocations_during([&] { solve_sa_lasso_serial(d, sa); });
+  };
+  for (const bool accelerated : {false, true}) {
+    run(4, accelerated);  // warm thread-local kernel scratch
+    const std::size_t one_iteration = run(4, accelerated);
+    const std::size_t many_iterations = run(84, accelerated);
+    EXPECT_EQ(many_iterations, one_iteration)
+        << (accelerated ? "accelerated" : "plain")
+        << ": 20 extra outer iterations must not allocate";
+  }
+}
+
+TEST(SteadyState, SaSvmAllocatesOnlyInTheFirstOuterIteration) {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 60;
+  cfg.num_features = 48;
+  cfg.density = 0.3;
+  cfg.seed = 23;
+  const data::Dataset d = data::make_classification(cfg);
+  const auto run = [&](std::size_t iterations) {
+    SaSvmOptions sa;
+    sa.base.lambda = 1.0;
+    sa.base.loss = SvmLoss::kL2;
+    sa.base.max_iterations = iterations;
+    sa.base.trace_every = 0;
+    sa.s = 6;
+    return allocations_during([&] { solve_sa_svm_serial(d, sa); });
+  };
+  run(6);
+  const std::size_t one_iteration = run(6);
+  const std::size_t many_iterations = run(126);
+  EXPECT_EQ(many_iterations, one_iteration);
+}
+
+TEST(SteadyState, SaGroupLassoAllocatesOnlyInTheFirstOuterIteration) {
+  const data::Dataset d = regression_problem();
+  const auto run = [&](std::size_t iterations) {
+    SaGroupLassoOptions sa;
+    sa.base.lambda = 0.1;
+    sa.base.groups = GroupStructure::uniform(d.num_features(), 4);
+    sa.base.max_iterations = iterations;
+    sa.base.trace_every = 0;
+    sa.s = 4;
+    return allocations_during([&] { solve_sa_group_lasso_serial(d, sa); });
+  };
+  run(4);
+  const std::size_t one_iteration = run(4);
+  const std::size_t many_iterations = run(84);
+  EXPECT_EQ(many_iterations, one_iteration);
+}
+
+}  // namespace
+}  // namespace sa::core

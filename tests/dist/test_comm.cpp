@@ -182,6 +182,67 @@ TEST(ThreadTeam, RejectsZeroRanks) {
   EXPECT_THROW(ThreadTeam{0}, sa::PreconditionError);
 }
 
+class TreeAllreduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeAllreduceSweep, TreeIsDeterministicAndMatchesLinearToRounding) {
+  const int p = GetParam();
+  const std::size_t n = 257;
+
+  auto reduce = [&](int tree_threshold) {
+    ThreadTeam team(p, tree_threshold);
+    std::vector<std::vector<double>> got(p);
+    team.run([&](ThreadComm& comm) {
+      std::vector<double> mine = rank_contribution(comm.rank(), n);
+      comm.allreduce_sum(mine);
+      got[comm.rank()] = std::move(mine);
+    });
+    return got;
+  };
+
+  // Force the tree (threshold 2) and pin the linear order (huge threshold).
+  const auto tree_a = reduce(2);
+  const auto tree_b = reduce(2);
+  const auto linear = reduce(1 << 20);
+
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(tree_a[r].size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bit-deterministic across runs and identical on every rank.
+      EXPECT_EQ(tree_a[r][i], tree_b[r][i]);
+      EXPECT_EQ(tree_a[r][i], tree_a[0][i]);
+      // The tree groups the summands differently, so it agrees with the
+      // rank-ordered linear reduction only to rounding.
+      EXPECT_NEAR(tree_a[r][i], linear[r][i],
+                  1e-12 * std::max(1.0, std::abs(linear[r][i])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, TreeAllreduceSweep,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(TreeAllreduce, DefaultThresholdEngagesTreeAtSixteenRanks) {
+  // 16 ranks ≥ kDefaultTreeThreshold: exact-in-any-order payload sums
+  // still come out right through the tree, on repeated collectives.
+  ThreadTeam team(16);
+  team.run([](ThreadComm& comm) {
+    for (int round = 0; round < 5; ++round) {
+      std::vector<double> buf(33, static_cast<double>(comm.rank() + 1));
+      comm.allreduce_sum(buf);
+      for (const double v : buf) EXPECT_EQ(v, 136.0);  // Σ 1..16
+    }
+  });
+}
+
+TEST(TreeAllreduce, MismatchedLengthsThrowInsteadOfCorrupting) {
+  ThreadTeam team(4, /*tree_threshold=*/2);
+  EXPECT_THROW(team.run([](ThreadComm& comm) {
+                 std::vector<double> buf(comm.rank() == 0 ? 4 : 5, 1.0);
+                 comm.allreduce_sum(buf);
+               }),
+               sa::PreconditionError);
+}
+
 TEST(CostModel, PricesCountersLinearly) {
   CommStats s;
   s.flops = 50;
