@@ -1,4 +1,5 @@
-// Distributed execution and the latency/bandwidth tradeoff, end to end.
+// Distributed execution and the latency/bandwidth tradeoff, end to end —
+// on the unified Solver facade.
 //
 //   $ ./distributed_solve
 //
@@ -10,8 +11,7 @@
 #include <mutex>
 #include <vector>
 
-#include "core/cd_lasso.hpp"
-#include "core/sa_lasso.hpp"
+#include "core/registry.hpp"
 #include "data/synthetic.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/thread_comm.hpp"
@@ -25,33 +25,35 @@ int main() {
   config.support_size = 8;
   const sa::data::Dataset dataset = sa::data::make_regression(config).dataset;
 
-  sa::core::LassoOptions options;
-  options.lambda = 0.05;
-  options.block_size = 4;
-  options.accelerated = true;
-  options.max_iterations = 256;
+  const sa::core::SolverSpec spec = sa::core::SolverSpec::make("lasso")
+                                        .with_lambda(0.05)
+                                        .with_block_size(4)
+                                        .with_acceleration(true)
+                                        .with_max_iterations(256);
 
   // 1. Rank-count invariance.
   std::printf("solution agreement vs serial, by rank count:\n");
-  const sa::core::LassoResult serial =
-      sa::core::solve_lasso_serial(dataset, options);
+  const sa::core::SolveResult serial = sa::core::solve(dataset, spec);
   for (int ranks : {1, 2, 4, 8}) {
     const auto rows =
         sa::data::Partition::block(dataset.num_points(), ranks);
     std::vector<double> x;
     std::mutex lock;
     sa::dist::run_distributed(ranks, [&](sa::dist::Communicator& comm) {
-      const auto result = sa::core::solve_lasso(comm, dataset, rows, options);
+      sa::core::SolveResult result =
+          sa::core::make_solver(comm, dataset, rows, spec)->run();
       if (comm.rank() == 0) {
         std::scoped_lock guard(lock);
-        x = result.x;
+        x = std::move(result.x);
       }
     });
     std::printf("  P=%d: max relative difference %.2e\n", ranks,
                 sa::la::max_rel_diff(serial.x, x));
   }
 
-  // 2. The s sweep: metered counters priced on three machines.
+  // 2. The s sweep: metered counters priced on three machines.  The
+  //    facade makes the sweep one loop over specs — s = 0 is the
+  //    classical id, s > 0 its synchronization-avoiding variant.
   const int ranks = 4;
   const auto rows = sa::data::Partition::block(dataset.num_points(), ranks);
   std::printf("\nmetered cost of the full solve on P=%d, priced per machine "
@@ -59,20 +61,19 @@ int main() {
   std::printf("%8s %12s %12s %14s %14s %14s\n", "s", "messages", "words",
               "shared-mem", "cray-xc30", "ethernet");
   for (std::size_t s : {0, 2, 8, 32, 128}) {
+    sa::core::SolverSpec swept = spec;
+    if (s > 0) {
+      swept.algorithm = "sa-lasso";
+      swept.s = s;
+    }
     sa::dist::CommStats stats;
     std::mutex lock;
     sa::dist::run_distributed(ranks, [&](sa::dist::Communicator& comm) {
-      if (s == 0) {
-        sa::core::solve_lasso(comm, dataset, rows, options);
-      } else {
-        sa::core::SaLassoOptions sa_options;
-        sa_options.base = options;
-        sa_options.s = s;
-        sa::core::solve_sa_lasso(comm, dataset, rows, sa_options);
-      }
+      sa::core::SolveResult result =
+          sa::core::make_solver(comm, dataset, rows, swept)->run();
       if (comm.rank() == 0) {
         std::scoped_lock guard(lock);
-        stats = comm.stats();
+        stats = result.stats;
       }
     });
     std::printf("%8zu %12zu %12zu %14.6f %14.6f %14.6f\n", s, stats.messages,

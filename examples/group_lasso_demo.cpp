@@ -9,8 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/cd_lasso.hpp"
-#include "core/group_lasso.hpp"
+#include "core/registry.hpp"
 #include "data/rng.hpp"
 #include "data/synthetic.hpp"
 #include "la/vector_ops.hpp"
@@ -71,19 +70,18 @@ int main() {
   std::printf("%12s %16s %16s %16s\n", "lambda", "active groups",
               "nnz (group)", "nnz (plain)");
   for (double lambda : {20.0, 10.0, 5.0, 2.0, 0.5, 0.1}) {
-    sa::core::GroupLassoOptions group_options;
-    group_options.lambda = lambda;
-    group_options.groups = groups;
-    group_options.max_iterations = 4000;
-    const sa::core::LassoResult group_fit =
-        sa::core::solve_group_lasso_serial(dataset, group_options);
-
-    sa::core::LassoOptions plain_options;
-    plain_options.lambda = lambda;
-    plain_options.block_size = group_size;
-    plain_options.max_iterations = 4000;
-    const sa::core::LassoResult plain_fit =
-        sa::core::solve_lasso_serial(dataset, plain_options);
+    // The same facade runs both penalties; only the algorithm id and the
+    // group structure differ between the two specs.
+    const sa::core::SolveResult group_fit = sa::core::solve(
+        dataset, sa::core::SolverSpec::make("group-lasso")
+                     .with_lambda(lambda)
+                     .with_groups(groups)
+                     .with_max_iterations(4000));
+    const sa::core::SolveResult plain_fit = sa::core::solve(
+        dataset, sa::core::SolverSpec::make("lasso")
+                     .with_lambda(lambda)
+                     .with_block_size(group_size)
+                     .with_max_iterations(4000));
 
     std::size_t group_nnz = 0, plain_nnz = 0;
     for (double v : group_fit.x)

@@ -1,17 +1,17 @@
 // Quickstart: solve a Lasso problem with the synchronization-avoiding
-// accelerated BCD solver and verify it matches the classical solver.
+// accelerated BCD solver through the unified Solver facade and verify it
+// matches the classical solver.
 //
 //   $ ./quickstart
 //
 // Walks through the three steps every application follows:
 //   1. build (or load) a Dataset,
-//   2. pick solver options (µ, s, λ, H),
-//   3. run and inspect the trace.
+//   2. describe the solve with a SolverSpec (algorithm id, µ, s, λ, H),
+//   3. run via sa::core::solve / make_solver and inspect the result.
 #include <cstdio>
 
-#include "core/cd_lasso.hpp"
 #include "core/objective.hpp"
-#include "core/sa_lasso.hpp"
+#include "core/registry.hpp"
 #include "data/synthetic.hpp"
 #include "la/vector_ops.hpp"
 
@@ -31,35 +31,39 @@ int main() {
               dataset.num_points(), dataset.num_features(),
               100.0 * dataset.density());
 
-  // 2. Solver options: accelerated BCD with blocks of 4 coordinates,
-  //    λ chosen as a fraction of λ_max (the smallest λ with solution 0).
-  sa::core::LassoOptions options;
-  options.lambda = 0.1 * sa::core::lasso_lambda_max(dataset.a, dataset.b);
-  options.block_size = 4;
-  options.accelerated = true;
-  options.max_iterations = 3000;
-  options.trace_every = 500;
+  // 2. One spec describes the solve: accelerated BCD with blocks of 4
+  //    coordinates, λ chosen as a fraction of λ_max (the smallest λ with
+  //    solution 0).
+  const sa::core::SolverSpec classical_spec =
+      sa::core::SolverSpec::make("lasso")
+          .with_lambda(0.1 * sa::core::lasso_lambda_max(dataset.a, dataset.b))
+          .with_block_size(4)
+          .with_acceleration(true)
+          .with_max_iterations(3000)
+          .with_trace_every(500);
 
   // 3a. Classical accBCD (the paper's Algorithm 1).
-  const sa::core::LassoResult classical =
-      sa::core::solve_lasso_serial(dataset, options);
+  const sa::core::SolveResult classical =
+      sa::core::solve(dataset, classical_spec);
 
-  // 3b. Synchronization-avoiding accBCD (Algorithm 2): identical iterates,
-  //     one communication round every s = 16 iterations.
-  sa::core::SaLassoOptions sa_options;
-  sa_options.base = options;
-  sa_options.s = 16;
-  const sa::core::LassoResult avoiding =
-      sa::core::solve_sa_lasso_serial(dataset, sa_options);
+  // 3b. Synchronization-avoiding accBCD (Algorithm 2): identical
+  //     iterates, one communication round every s = 16 iterations —
+  //     the same spec under the "sa-lasso" id.
+  sa::core::SolverSpec sa_spec = classical_spec;
+  sa_spec.algorithm = "sa-lasso";
+  sa_spec.s = 16;
+  const sa::core::SolveResult avoiding = sa::core::solve(dataset, sa_spec);
 
   std::printf("\n%12s %16s\n", "iteration", "objective");
   for (const auto& point : avoiding.trace.points)
     std::printf("%12zu %16.6f\n", point.iteration, point.objective);
 
-  std::printf("\nclassical final objective: %.10f\n",
-              classical.trace.final_objective());
-  std::printf("SA        final objective: %.10f\n",
-              avoiding.trace.final_objective());
+  std::printf("\nclassical final objective: %.10f  (stopped: %s)\n",
+              classical.final_objective(),
+              sa::core::to_string(classical.stop_reason));
+  std::printf("SA        final objective: %.10f  (stopped: %s)\n",
+              avoiding.final_objective(),
+              sa::core::to_string(avoiding.stop_reason));
   std::printf("max relative iterate difference: %.2e  (machine eps 2.2e-16)\n",
               sa::la::max_rel_diff(classical.x, avoiding.x));
 

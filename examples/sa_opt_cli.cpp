@@ -1,103 +1,162 @@
-// sa_opt_cli — command-line solver for LIBSVM files.
+// sa_opt_cli — command-line driver for every registered solver.
 //
-//   $ ./sa_opt_cli lasso  data.libsvm --lambda 0.1 --mu 8 --s 32 -H 5000
-//   $ ./sa_opt_cli svm    data.libsvm --loss l2 --s 64 --gap-tol 1e-4
-//   $ ./sa_opt_cli path   data.libsvm --lambdas 20
+//   $ ./sa_opt_cli --list
+//   $ ./sa_opt_cli sa-lasso data.libsvm --lambda 0.1 --mu 8 --s 32 -H 5000
+//   $ ./sa_opt_cli svm data.libsvm --loss l2 --gap-tol 1e-4 --ranks 4
+//   $ ./sa_opt_cli path data.libsvm --lambdas 20
 //
-// The adoption path for real datasets (url, news20, covtype, epsilon,
-// leu, w1a, duke, rcv1.binary, gisette from the LIBSVM repository drop in
+// The mode is an algorithm id from the solver registry (plus the `path`
+// meta-mode); `--solver <id>` overrides it, `--list` prints the registry.
+// `--ranks P` runs the solve on P thread-backed communicator ranks.  The
+// adoption path for real datasets (url, news20, covtype, epsilon, leu,
+// w1a, duke, rcv1.binary, gisette from the LIBSVM repository drop in
 // directly).  Prints a trace and optionally writes it as CSV.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <mutex>
 #include <string>
+#include <utility>
 
-#include "core/cd_lasso.hpp"
 #include "core/path.hpp"
-#include "core/sa_lasso.hpp"
-#include "core/sa_svm.hpp"
+#include "core/registry.hpp"
 #include "core/svm.hpp"
 #include "core/trace_io.hpp"
 #include "data/libsvm_io.hpp"
 #include "data/scaling.hpp"
+#include "dist/thread_comm.hpp"
 
 namespace {
 
+// Every algorithmic default comes from SolverSpec — the single source the
+// library, the CLI, and the tests share (sa_opt_cli only adds
+// presentation defaults such as the trace cadence).
 struct Args {
   std::string mode;
   std::string file;
-  double lambda = 0.1;
-  std::size_t mu = 1;
-  std::size_t s = 0;  // 0 = classical solver
-  std::size_t iterations = 10000;
-  std::size_t trace_every = 1000;
-  bool accelerated = true;
-  sa::core::SvmLoss loss = sa::core::SvmLoss::kL2;
-  double gap_tol = 0.0;
-  std::size_t num_lambdas = 20;
+  sa::core::SolverSpec spec;
+  std::size_t s = 0;            // --s N: switch a classical id to sa-*
+  int ranks = 1;                // --ranks P (thread-backed communicator)
+  std::size_t group_size = 8;   // --group-size (group-lasso ids)
+  std::size_t num_lambdas = 20; // path mode
   bool normalize = false;
-  std::string trace_csv;  // write trace here when non-empty
+  std::string trace_csv;        // write trace here when non-empty
 };
 
+void print_registry() {
+  std::printf("registered algorithms:\n");
+  for (const std::string& id : sa::core::registered_algorithms()) {
+    const sa::core::AlgorithmInfo* info =
+        sa::core::SolverRegistry::instance().find(id);
+    std::printf("  %-16s %s\n", id.c_str(), info->description.c_str());
+  }
+  std::printf("  %-16s %s\n", "path",
+              "warm-started Lasso regularization path over a lambda grid");
+}
+
 [[noreturn]] void usage() {
+  const sa::core::SolverSpec defaults;
   std::fprintf(
       stderr,
-      "usage: sa_opt_cli <lasso|svm|path> <file.libsvm> [options]\n"
-      "  --lambda X      regularization strength (lasso/svm; default 0.1)\n"
-      "  --mu N          block size for lasso (default 1)\n"
-      "  --s N           SA unrolling depth; 0 = classical (default 0)\n"
-      "  -H N            iterations (default 10000)\n"
+      "usage: sa_opt_cli <algorithm|path> <file.libsvm> [options]\n"
+      "       sa_opt_cli --list\n"
+      "  --solver ID     algorithm id (overrides the positional mode)\n"
+      "  --list          print the registered algorithm ids and exit\n"
+      "  --lambda X      regularization strength (default %g)\n"
+      "  --mu N          block size for lasso ids (default %zu)\n"
+      "  --s N           SA unrolling depth; with a classical id switches\n"
+      "                  to its sa-* variant (default: classical)\n"
+      "  -H N            iterations (default %zu)\n"
       "  --trace-every N objective cadence (default 1000)\n"
-      "  --plain         disable Nesterov acceleration (lasso)\n"
-      "  --loss l1|l2    SVM hinge variant (default l2)\n"
+      "  --accelerated   enable Nesterov acceleration (lasso ids)\n"
+      "  --plain         disable Nesterov acceleration (the default)\n"
+      "  --loss l1|l2    SVM hinge variant (default %s)\n"
       "  --gap-tol X     SVM duality-gap stop (default off)\n"
+      "  --obj-tol X     stop when successive trace objectives agree\n"
+      "  --time-budget X wall-clock budget in seconds (default off)\n"
+      "  --seed N        sampler seed (default %llu)\n"
+      "  --group-size N  uniform group size for group-lasso ids "
+      "(default 8)\n"
+      "  --ranks P       thread-backed communicator ranks (default 1)\n"
       "  --lambdas N     path grid size (default 20)\n"
       "  --normalize     unit-norm columns before solving\n"
-      "  --trace-csv F   write the solver trace to CSV file F\n");
+      "  --trace-csv F   write the solver trace to CSV file F\n",
+      defaults.lambda, defaults.block_size, defaults.max_iterations,
+      defaults.loss == sa::core::SvmLoss::kL1 ? "l1" : "l2",
+      static_cast<unsigned long long>(defaults.seed));
   std::exit(2);
 }
 
 Args parse(int argc, char** argv) {
-  if (argc < 3) usage();
   Args args;
-  args.mode = argv[1];
-  args.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  args.spec.trace_every = 1000;  // CLI presentation default: show progress
+  bool solver_flag = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
-    if (flag == "--lambda") {
-      args.lambda = std::atof(value());
+    if (flag == "--list") {
+      print_registry();
+      std::exit(0);
+    } else if (flag == "--solver") {
+      args.spec.algorithm = value();
+      solver_flag = true;
+    } else if (flag == "--lambda") {
+      args.spec.lambda = std::atof(value());
     } else if (flag == "--mu") {
-      args.mu = std::strtoull(value(), nullptr, 10);
+      args.spec.block_size = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--s") {
       args.s = std::strtoull(value(), nullptr, 10);
     } else if (flag == "-H") {
-      args.iterations = std::strtoull(value(), nullptr, 10);
+      args.spec.max_iterations = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--trace-every") {
-      args.trace_every = std::strtoull(value(), nullptr, 10);
+      args.spec.trace_every = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--accelerated") {
+      args.spec.accelerated = true;
     } else if (flag == "--plain") {
-      args.accelerated = false;
+      args.spec.accelerated = false;
     } else if (flag == "--loss") {
       const std::string loss = value();
-      if (loss == "l1") args.loss = sa::core::SvmLoss::kL1;
-      else if (loss == "l2") args.loss = sa::core::SvmLoss::kL2;
+      if (loss == "l1") args.spec.loss = sa::core::SvmLoss::kL1;
+      else if (loss == "l2") args.spec.loss = sa::core::SvmLoss::kL2;
       else usage();
     } else if (flag == "--gap-tol") {
-      args.gap_tol = std::atof(value());
+      args.spec.gap_tolerance = std::atof(value());
+    } else if (flag == "--obj-tol") {
+      args.spec.objective_tolerance = std::atof(value());
+    } else if (flag == "--time-budget") {
+      args.spec.wall_clock_budget = std::atof(value());
+    } else if (flag == "--seed") {
+      args.spec.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--group-size") {
+      args.group_size = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--ranks") {
+      args.ranks = std::atoi(value());
+      if (args.ranks < 1) usage();
     } else if (flag == "--lambdas") {
       args.num_lambdas = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--normalize") {
       args.normalize = true;
     } else if (flag == "--trace-csv") {
       args.trace_csv = value();
-    } else {
+    } else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      usage();
+    } else if (positional == 0) {
+      args.mode = flag;
+      ++positional;
+    } else if (positional == 1) {
+      args.file = flag;
+      ++positional;
+    } else {
       usage();
     }
   }
+  if (args.mode.empty() || args.file.empty()) usage();
+  if (!solver_flag && args.mode != "path")
+    args.spec.algorithm = args.mode;  // positional mode unless --solver set
   return args;
 }
 
@@ -108,66 +167,74 @@ void maybe_write_csv(const Args& args, const sa::core::Trace& trace) {
   std::printf("trace written to %s\n", args.trace_csv.c_str());
 }
 
-int run_lasso(const Args& args, const sa::data::Dataset& dataset) {
-  sa::core::LassoOptions options;
-  options.lambda = args.lambda;
-  options.block_size = args.mu;
-  options.accelerated = args.accelerated;
-  options.max_iterations = args.iterations;
-  options.trace_every = args.trace_every;
-  const sa::core::LassoResult result = [&] {
-    if (args.s == 0) return sa::core::solve_lasso_serial(dataset, options);
-    sa::core::SaLassoOptions sa_options;
-    sa_options.base = options;
-    sa_options.s = args.s;
-    return sa::core::solve_sa_lasso_serial(dataset, sa_options);
-  }();
-  for (const auto& point : result.trace.points)
-    std::printf("%12zu %16.8g\n", point.iteration, point.objective);
-  std::size_t nnz = 0;
-  for (double v : result.x)
-    if (v != 0.0) ++nnz;
-  std::printf("%s\nsupport: %zu / %zu\n",
-              sa::core::summarize_trace(result.trace).c_str(), nnz,
-              result.x.size());
-  maybe_write_csv(args, result.trace);
-  return 0;
-}
+int run_solver(const Args& args, const sa::data::Dataset& dataset) {
+  sa::core::SolverSpec spec = args.spec;
+  // Back-compat convenience: `--s N` with a classical id selects the
+  // synchronization-avoiding variant, exactly as the old two-function
+  // dispatch did.
+  if (args.s > 0) {
+    if (!spec.is_sa()) spec.algorithm = "sa-" + spec.algorithm;
+    spec.s = args.s;
+  }
+  if (spec.family() == sa::core::SolverFamily::kGroupLasso)
+    spec.groups = sa::core::GroupStructure::uniform(dataset.num_features(),
+                                                    args.group_size);
 
-int run_svm(const Args& args, const sa::data::Dataset& dataset) {
-  sa::core::SvmOptions options;
-  options.lambda = args.lambda > 0.0 ? args.lambda : 1.0;
-  options.loss = args.loss;
-  options.max_iterations = args.iterations;
-  options.trace_every = args.trace_every;
-  options.gap_tolerance = args.gap_tol;
-  const sa::core::SvmResult result = [&] {
-    if (args.s == 0) return sa::core::solve_svm_serial(dataset, options);
-    sa::core::SaSvmOptions sa_options;
-    sa_options.base = options;
-    sa_options.s = args.s;
-    return sa::core::solve_sa_svm_serial(dataset, sa_options);
-  }();
+  const sa::core::SolveResult result =
+      sa::core::solve_on_ranks(dataset, spec, args.ranks);
+
+  const bool svm = spec.family() == sa::core::SolverFamily::kSvm;
   for (const auto& point : result.trace.points)
-    std::printf("%12zu %16.8e\n", point.iteration, point.objective);
-  std::printf("%s\ntrain accuracy: %.2f%%\n",
+    std::printf(svm ? "%12zu %16.8e\n" : "%12zu %16.8g\n", point.iteration,
+                point.objective);
+  std::printf("%s\nstopped: %s after %zu iterations\n",
               sa::core::summarize_trace(result.trace).c_str(),
-              100.0 * sa::core::svm_accuracy(dataset.a, dataset.b, result.x));
+              sa::core::to_string(result.stop_reason),
+              result.trace.iterations_run);
+  if (svm) {
+    std::printf("train accuracy: %.2f%%\n",
+                100.0 * sa::core::svm_accuracy(dataset.a, dataset.b,
+                                               result.x));
+  } else {
+    std::size_t nnz = 0;
+    for (double v : result.x)
+      if (v != 0.0) ++nnz;
+    std::printf("support: %zu / %zu\n", nnz, result.x.size());
+  }
   maybe_write_csv(args, result.trace);
   return 0;
 }
 
 int run_path(const Args& args, const sa::data::Dataset& dataset) {
   sa::core::PathOptions options;
-  options.solver.block_size = args.mu;
-  options.solver.accelerated = args.accelerated;
-  options.solver.max_iterations = args.iterations;
+  options.solver = args.spec;  // an explicit --solver sa-lasso is honored
+  options.solver.trace_every = 0;  // the path table is the output
   options.num_lambdas = args.num_lambdas;
   options.s = args.s;
+
   std::printf("%14s %12s %14s\n", "lambda", "support", "objective");
-  for (const auto& point : sa::core::lasso_path(dataset, options))
-    std::printf("%14.6g %12zu %14.6g\n", point.lambda, point.nonzeros,
-                point.objective);
+  const auto print = [](const std::vector<sa::core::PathPoint>& path) {
+    for (const auto& point : path)
+      std::printf("%14.6g %12zu %14.6g\n", point.lambda, point.nonzeros,
+                  point.objective);
+  };
+  if (args.ranks == 1) {
+    print(sa::core::lasso_path(dataset, options));
+    return 0;
+  }
+  const sa::data::Partition rows =
+      sa::data::Partition::block(dataset.num_points(), args.ranks);
+  std::mutex lock;
+  std::vector<sa::core::PathPoint> path;
+  sa::dist::run_distributed(
+      args.ranks, [&](sa::dist::Communicator& comm) {
+        auto p = sa::core::lasso_path(comm, dataset, rows, options);
+        if (comm.rank() == 0) {
+          std::scoped_lock guard(lock);
+          path = std::move(p);
+        }
+      });
+  print(path);
   return 0;
 }
 
@@ -176,6 +243,14 @@ int run_path(const Args& args, const sa::data::Dataset& dataset) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    if (args.mode != "path" &&
+        sa::core::SolverRegistry::instance().find(args.spec.algorithm) ==
+            nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n",
+                   args.spec.algorithm.c_str());
+      print_registry();
+      return 2;
+    }
     sa::data::Dataset dataset = sa::data::read_libsvm_file(args.file);
     std::printf("loaded %s: %zu points x %zu features, %.4f%% nnz\n",
                 args.file.c_str(), dataset.num_points(),
@@ -183,10 +258,8 @@ int main(int argc, char** argv) {
     if (args.normalize)
       dataset = sa::data::normalize_columns(dataset).first;
 
-    if (args.mode == "lasso") return run_lasso(args, dataset);
-    if (args.mode == "svm") return run_svm(args, dataset);
     if (args.mode == "path") return run_path(args, dataset);
-    usage();
+    return run_solver(args, dataset);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

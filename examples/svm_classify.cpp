@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "core/objective.hpp"
-#include "core/sa_svm.hpp"
+#include "core/registry.hpp"
 #include "core/svm.hpp"
 #include "core/trace_io.hpp"
 #include "data/libsvm_io.hpp"
@@ -48,16 +48,16 @@ int main(int argc, char** argv) {
               train.num_points(), train.num_features(),
               100.0 * train.density());
 
-  sa::core::SaSvmOptions options;
-  options.base.lambda = 1.0;
-  options.base.loss = sa::core::SvmLoss::kL2;
-  options.base.max_iterations = 200000;
-  options.base.trace_every = 2000;
-  options.base.gap_tolerance = 1e-6;
-  options.s = 64;  // one communication round per 64 dual updates
+  const sa::core::SolverSpec spec =
+      sa::core::SolverSpec::make("sa-svm")
+          .with_lambda(1.0)
+          .with_loss(sa::core::SvmLoss::kL2)
+          .with_max_iterations(200000)
+          .with_trace_every(2000)
+          .with_gap_tolerance(1e-6)
+          .with_s(64);  // one communication round per 64 dual updates
 
-  const sa::core::SvmResult model =
-      sa::core::solve_sa_svm_serial(train, options);
+  const sa::core::SolveResult model = sa::core::solve(train, spec);
 
   std::printf("\nduality gap trace:\n%12s %16s\n", "iteration", "gap");
   for (const auto& point : model.trace.points)
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
               100.0 * sa::core::svm_accuracy(test.a, test.b, model.x));
   std::printf("support vectors: %zu of %zu points\n", support_vectors,
               train.num_points());
+  std::printf("stopped: %s\n", sa::core::to_string(model.stop_reason));
   std::printf("trace summary: %s\n",
               sa::core::summarize_trace(model.trace).c_str());
   return 0;

@@ -1,68 +1,11 @@
 #include "core/cd_lasso.hpp"
 
-#include <chrono>
-#include <cmath>
-
 #include "common/check.hpp"
 #include "core/detail.hpp"
-#include "core/objective.hpp"
+#include "core/engine.hpp"
 #include "core/prox.hpp"
-#include "data/rng.hpp"
-#include "la/eigen.hpp"
-#include "la/vector_ops.hpp"
 
 namespace sa::core {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Shared per-iteration machinery: samples a block, reduces [G | dots],
-/// and exposes the pieces the accelerated / plain updates both need.
-struct BlockStep {
-  std::vector<std::size_t> cols;
-  la::VectorBatch batch;
-  la::DenseMatrix gram;          // µ×µ, replicated after allreduce
-  std::vector<double> reduced;   // trailing dot-product section(s)
-};
-
-/// Gathers the sampled block and performs the single allreduce of the
-/// iteration: [upper(G) | dot sections].  `local_dots` supplies one or two
-/// length-µ dot-product vectors computed against local residual slices.
-BlockStep reduce_block(dist::Communicator& comm, const RowBlock& block,
-                       const std::vector<std::size_t>& cols,
-                       const std::vector<std::span<const double>>& against) {
-  BlockStep step;
-  step.cols = cols;
-  step.batch = block.gather_columns(cols);
-  const std::size_t mu = cols.size();
-  const std::size_t tri = detail::triangle_size(mu);
-
-  const la::DenseMatrix g_local = step.batch.gram();
-  comm.add_flops(step.batch.gram_flops());
-
-  std::vector<double> buffer(tri + against.size() * mu);
-  detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
-  for (std::size_t section = 0; section < against.size(); ++section) {
-    const std::vector<double> dots = step.batch.dot_all(against[section]);
-    comm.add_flops(step.batch.dot_all_flops());
-    std::copy(dots.begin(), dots.end(),
-              buffer.begin() + tri + section * mu);
-  }
-
-  comm.allreduce_sum(buffer);
-
-  step.gram = detail::unpack_upper(
-      std::span<const double>(buffer.data(), tri), mu);
-  step.reduced.assign(buffer.begin() + tri, buffer.end());
-  return step;
-}
-
-}  // namespace
 
 double detail::ProxSpec::apply(double v, double eta) const {
   switch (penalty) {
@@ -74,168 +17,18 @@ double detail::ProxSpec::apply(double v, double eta) const {
   throw PreconditionError("ProxSpec: unknown penalty");
 }
 
+// Classical CD/BCD/accCD/accBCD is the Lasso family engine at unrolling
+// depth 1: one sampled block, one fused allreduce, one proximal step per
+// round — identical arithmetic to the historical copy-based solver, now
+// on the zero-copy view pipeline.
 LassoResult solve_lasso(dist::Communicator& comm,
                         const data::Dataset& dataset,
                         const data::Partition& rows,
                         const LassoOptions& options) {
-  SA_CHECK(options.block_size >= 1 &&
-               options.block_size <= dataset.num_features(),
-           "solve_lasso: block size must be in [1, n]");
-  SA_CHECK(options.lambda >= 0.0, "solve_lasso: lambda must be >= 0");
-
-  const auto start = Clock::now();
-  const std::size_t n = dataset.num_features();
-  const std::size_t mu = options.block_size;
-  const detail::ProxSpec prox = detail::ProxSpec::from_options(options);
-
-  RowBlock block(dataset, rows, comm.rank());
-  data::CoordinateSampler sampler(n, mu, options.seed);
-
-  LassoResult result;
-  result.x.assign(n, 0.0);
-  Trace& trace = result.trace;
-
-  // Accelerated state (Algorithm 1): x_h = θ_h²·y_h + z_h with y_0 = 0,
-  // z_0 = x_0 = 0; partitioned images ỹ = A·y, z̃ = A·z − b.
-  // Non-accelerated state: x and partitioned residual r̃ = A·x − b; we
-  // reuse the z/z̃ storage for it (and leave y unused).
-  std::vector<double> z(n, 0.0);
-  std::vector<double> y(n, 0.0);
-  std::vector<double> z_img(block.local_rows());      // z̃ (or r̃)
-  std::vector<double> y_img(block.local_rows(), 0.0); // ỹ
-  if (!options.x0.empty()) {
-    // Warm start: z = x0, y = 0  (so x = θ²·y + z = x0),  z̃ = A·x0 − b.
-    SA_CHECK(options.x0.size() == n, "solve_lasso: x0 must have length n");
-    z = options.x0;
-    block.matrix().spmv(z, z_img);
-    for (std::size_t i = 0; i < z_img.size(); ++i)
-      z_img[i] -= block.labels()[i];
-  } else {
-    for (std::size_t i = 0; i < z_img.size(); ++i)
-      z_img[i] = -block.labels()[i];
-  }
-
-  const double q = std::ceil(static_cast<double>(n) /
-                             static_cast<double>(mu));
-  double theta = static_cast<double>(mu) / static_cast<double>(n);
-
-  // Reconstructs the replicated solution x (and its partitioned residual
-  // image) from the current state.
-  const auto current_x = [&]() -> std::vector<double> {
-    if (!options.accelerated) return z;
-    std::vector<double> x(n);
-    const double t2 = theta * theta;
-    for (std::size_t j = 0; j < n; ++j) x[j] = t2 * y[j] + z[j];
-    return x;
-  };
-
-  const auto record_trace = [&](std::size_t iteration) {
-    const dist::CommStats snapshot = comm.stats();
-    // Objective evaluation is instrumentation: compute with communication,
-    // then restore the metered counters.
-    std::vector<double> x = current_x();
-    std::vector<double> res(block.local_rows());
-    const double t2 = theta * theta;
-    for (std::size_t i = 0; i < res.size(); ++i)
-      res[i] = options.accelerated ? t2 * y_img[i] + z_img[i] : z_img[i];
-    double local_sq = la::nrm2_squared(res);
-    const double total_sq = comm.allreduce_sum_scalar(local_sq);
-    double penalty_value = 0.0;
-    switch (options.penalty) {
-      case Penalty::kLasso:
-        penalty_value = options.lambda * la::asum(x);
-        break;
-      case Penalty::kElasticNet:
-        penalty_value = options.lambda *
-                        (options.elastic_net_l1 * la::asum(x) +
-                         options.elastic_net_l2 * la::nrm2_squared(x));
-        break;
-    }
-    comm.set_stats(snapshot);
-    TracePoint point;
-    point.iteration = iteration;
-    point.objective = 0.5 * total_sq + penalty_value;
-    point.stats = snapshot;
-    point.wall_seconds = seconds_since(start);
-    trace.points.push_back(point);
-  };
-
-  if (options.trace_every > 0) record_trace(0);
-
-  for (std::size_t h = 1; h <= options.max_iterations; ++h) {
-    const std::vector<std::size_t> cols = sampler.next();
-
-    if (!options.accelerated) {
-      // Plain CD/BCD: one reduce for [G | AᵀI·r̃].
-      BlockStep step = reduce_block(comm, block, cols, {z_img});
-      const double v = la::largest_eigenvalue_psd(step.gram);
-      comm.add_replicated_flops(detail::eig_flops(mu));
-      if (v == 0.0) {
-        // Every sampled column is empty: the block gradient is zero and no
-        // finite step size exists; the iterate is unchanged (common on
-        // ultra-sparse data such as the url/news20 twins).
-        if (options.trace_every > 0 && h % options.trace_every == 0)
-          record_trace(h);
-        trace.iterations_run = h;
-        continue;
-      }
-      const double eta = 1.0 / v;
-      for (std::size_t l = 0; l < mu; ++l) {
-        const std::size_t j = cols[l];
-        const double g = z[j] - eta * step.reduced[l];
-        const double delta = prox.apply(g, eta) - z[j];
-        if (delta == 0.0) continue;
-        z[j] += delta;
-        step.batch.add_scaled_to(l, delta, z_img);
-        comm.add_flops(2 * step.batch.member_nnz(l));
-      }
-    } else {
-      // Algorithm 1: one reduce for [G | Aᵀỹ | Aᵀz̃]; r is combined with
-      // the replicated θ afterwards.
-      BlockStep step = reduce_block(comm, block, cols, {y_img, z_img});
-      const double v = la::largest_eigenvalue_psd(step.gram);
-      comm.add_replicated_flops(detail::eig_flops(mu));
-      if (v == 0.0) {
-        // Empty block: no update, but θ still advances (Algorithm 1 line 18
-        // is unconditional).
-        theta = detail::theta_next(theta);
-        if (options.trace_every > 0 && h % options.trace_every == 0)
-          record_trace(h);
-        trace.iterations_run = h;
-        continue;
-      }
-      const double eta = 1.0 / (q * theta * v);
-      const double coeff = detail::acceleration_coefficient(theta, q);
-      const double t2 = theta * theta;
-      for (std::size_t l = 0; l < mu; ++l) {
-        const std::size_t j = cols[l];
-        const double r = t2 * step.reduced[l] + step.reduced[mu + l];
-        const double g = z[j] - eta * r;
-        const double delta_z = prox.apply(g, eta) - z[j];
-        if (delta_z == 0.0) continue;
-        z[j] += delta_z;
-        y[j] -= coeff * delta_z;
-        step.batch.add_scaled_to(l, delta_z, z_img);
-        step.batch.add_scaled_to(l, -coeff * delta_z, y_img);
-        comm.add_flops(4 * step.batch.member_nnz(l));
-      }
-      theta = detail::theta_next(theta);
-    }
-
-    if (options.trace_every > 0 && h % options.trace_every == 0)
-      record_trace(h);
-    trace.iterations_run = h;
-  }
-  if (options.trace_every > 0 &&
-      (trace.points.empty() ||
-       trace.points.back().iteration != trace.iterations_run)) {
-    record_trace(trace.iterations_run);
-  }
-
-  result.x = current_x();
-  trace.final_stats = comm.stats();
-  trace.total_wall_seconds = seconds_since(start);
-  return result;
+  SolveResult r = detail::make_lasso_engine(comm, dataset, rows,
+                                            detail::to_spec(options, 0))
+                      ->run();
+  return LassoResult{std::move(r.x), std::move(r.trace)};
 }
 
 LassoResult solve_lasso_serial(const data::Dataset& dataset,

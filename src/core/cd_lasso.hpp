@@ -15,6 +15,13 @@
 // Call the function on every rank of a communicator with identical
 // dataset/partition/options; ranks cooperate through the communicator.
 // With SerialComm this is a plain shared-memory solver.
+//
+// These entry points are thin wrappers over the unified Solver facade
+// (algorithm id "lasso" in core/registry.hpp): iterates and trace
+// objectives are bitwise those of the facade (only the flop *counters*
+// can differ from the pre-facade solver, which charged an eigensolve
+// even for all-zero sampled blocks the engine now skips).  Prefer
+// SolverSpec + make_solver in new code.
 #pragma once
 
 #include <vector>

@@ -2,7 +2,9 @@
 //
 // Splits the data points into k contiguous folds, fits a warm-started path
 // on each training split, and scores held-out mean squared error — the
-// standard model-selection loop around the paper's solvers.
+// standard model-selection loop around the paper's solvers.  Runs entirely
+// on the unified Solver facade (via core/path.hpp), so the per-fold fits
+// use whichever Lasso-family algorithm the PathOptions spec selects.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,106 @@
+// Internal engine scaffolding behind the unified Solver facade.
+// Not part of the public API — include core/solver.hpp + core/registry.hpp
+// instead.
+//
+// Each algorithm family has ONE engine class implementing the shared
+// sample → Gram → allreduce → apply skeleton on the zero-copy
+// la::BatchView + la::Workspace pipeline; the classical and
+// synchronization-avoiding variants of a family are the same engine at
+// unrolling depth 1 vs s (SolverSpec::unroll_depth()).  EngineBase owns
+// everything the skeleton shares: the outer-round loop, trace cadence,
+// stopping criteria, observer dispatch, and result finalization.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+
+#include "core/group_lasso.hpp"  // GroupLassoOptions (for to_spec)
+#include "core/solver.hpp"
+#include "data/partition.hpp"
+
+namespace sa::core::detail {
+
+using EngineClock = std::chrono::steady_clock;
+
+inline double seconds_since(EngineClock::time_point start) {
+  return std::chrono::duration<double>(EngineClock::now() - start).count();
+}
+
+/// Shared outer-round skeleton.  Derived engines implement one
+/// communication round (do_round), trace-point evaluation
+/// (record_trace_point), and result assembly (assemble); everything else
+/// — cadence, stopping criteria, step()/run()/finish() plumbing — lives
+/// here so the six algorithms cannot drift apart.
+class EngineBase : public Solver {
+ public:
+  std::size_t step(std::size_t iterations = 1) final;
+  bool finished() const final {
+    return done_ || iterations_done_ >= spec_.max_iterations;
+  }
+  std::size_t iterations_run() const final { return iterations_done_; }
+  StopReason stop_reason() const final { return reason_; }
+  const Trace& trace() const final { return trace_; }
+  SolveResult finish() final;
+
+ protected:
+  EngineBase(dist::Communicator& comm, const SolverSpec& spec);
+
+  /// One communication round of `s_eff` inner iterations (1 ≤ s_eff ≤ s).
+  virtual void do_round(std::size_t s_eff) = 0;
+
+  /// Evaluates the traced quantity (objective / duality gap) at
+  /// `iteration` and pushes a TracePoint.  Implementations must exclude
+  /// their own communication from the metering (snapshot / restore) and
+  /// use pre-sized scratch (no steady-state allocation).
+  virtual void record_trace_point(std::size_t iteration) = 0;
+
+  /// Writes the solution (x, and alpha for SVM) into `out`.  May
+  /// communicate; runs before the final counters are captured.
+  virtual void assemble(SolveResult& out) = 0;
+
+  /// Pushes a TracePoint with instrumentation-excluded counters — the
+  /// helper every record_trace_point implementation ends with.
+  void push_trace_point(std::size_t iteration, double objective,
+                        const dist::CommStats& snapshot);
+
+  dist::Communicator& comm_;
+  SolverSpec spec_;  // owning copy: x0 / groups / id outlive the caller's
+  Trace trace_;
+  EngineClock::time_point start_ = EngineClock::now();
+
+ private:
+  void check_stops_after_round();
+
+  std::size_t iterations_done_ = 0;
+  std::size_t since_trace_ = 0;
+  bool first_round_ = true;
+  bool done_ = false;
+  bool result_taken_ = false;
+  StopReason reason_ = StopReason::kMaxIterations;
+  bool have_prev_objective_ = false;
+  double prev_objective_ = 0.0;
+};
+
+// Engine factories (validate the spec, then construct).  The registry
+// binds each algorithm id to one of these; the legacy free functions call
+// them directly.
+std::unique_ptr<Solver> make_lasso_engine(dist::Communicator& comm,
+                                          const data::Dataset& dataset,
+                                          const data::Partition& rows,
+                                          const SolverSpec& spec);
+std::unique_ptr<Solver> make_group_lasso_engine(dist::Communicator& comm,
+                                                const data::Dataset& dataset,
+                                                const data::Partition& rows,
+                                                const SolverSpec& spec);
+std::unique_ptr<Solver> make_svm_engine(dist::Communicator& comm,
+                                        const data::Dataset& dataset,
+                                        const data::Partition& cols,
+                                        const SolverSpec& spec);
+
+// Legacy option structs → unified spec (s == 0 selects the classical id).
+SolverSpec to_spec(const LassoOptions& options, std::size_t s);
+SolverSpec to_spec(const GroupLassoOptions& options, std::size_t s);
+SolverSpec to_spec(const SvmOptions& options, std::size_t s);
+
+}  // namespace sa::core::detail

@@ -1,127 +1,20 @@
 #include "core/group_lasso.hpp"
 
-#include <chrono>
-#include <cmath>
-
-#include "common/check.hpp"
-#include "core/detail.hpp"
-#include "core/objective.hpp"
-#include "data/rng.hpp"
-#include "la/eigen.hpp"
-#include "la/vector_ops.hpp"
+#include "core/engine.hpp"
 
 namespace sa::core {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
-
+// Classical randomized group BCD is the Group Lasso family engine at
+// unrolling depth 1 — one sampled group, one fused allreduce, one joint
+// proximal step per round, on the zero-copy view pipeline.
 LassoResult solve_group_lasso(dist::Communicator& comm,
                               const data::Dataset& dataset,
                               const data::Partition& rows,
                               const GroupLassoOptions& options) {
-  const GroupStructure& groups = options.groups;
-  SA_CHECK(groups.num_groups() > 0 &&
-               groups.offsets.back() == dataset.num_features(),
-           "solve_group_lasso: groups must cover all features");
-  SA_CHECK(options.lambda >= 0.0, "solve_group_lasso: lambda must be >= 0");
-
-  const auto start = Clock::now();
-  const std::size_t n = dataset.num_features();
-  RowBlock block(dataset, rows, comm.rank());
-  data::SplitMix64 rng(options.seed);
-
-  LassoResult result;
-  result.x.assign(n, 0.0);
-  std::vector<double>& x = result.x;
-  std::vector<double> res(block.local_rows());  // r̃ = A·x − b (local slice)
-  for (std::size_t i = 0; i < res.size(); ++i) res[i] = -block.labels()[i];
-  Trace& trace = result.trace;
-
-  const auto record_trace = [&](std::size_t iteration) {
-    const dist::CommStats snapshot = comm.stats();
-    const double total_sq = comm.allreduce_sum_scalar(la::nrm2_squared(res));
-    double penalty = 0.0;
-    for (std::size_t g = 0; g < groups.num_groups(); ++g) {
-      const std::size_t begin = groups.offsets[g];
-      penalty += la::nrm2(std::span<const double>(
-          x.data() + begin, groups.offsets[g + 1] - begin));
-    }
-    comm.set_stats(snapshot);
-    TracePoint point;
-    point.iteration = iteration;
-    point.objective = 0.5 * total_sq + options.lambda * penalty;
-    point.stats = snapshot;
-    point.wall_seconds = seconds_since(start);
-    trace.points.push_back(point);
-  };
-
-  if (options.trace_every > 0) record_trace(0);
-
-  for (std::size_t h = 1; h <= options.max_iterations; ++h) {
-    const auto g =
-        static_cast<std::size_t>(rng.next_below(groups.num_groups()));
-    const std::size_t begin = groups.offsets[g];
-    const std::size_t size = groups.offsets[g + 1] - begin;
-    std::vector<std::size_t> cols(size);
-    for (std::size_t l = 0; l < size; ++l) cols[l] = begin + l;
-
-    const la::VectorBatch batch = block.gather_columns(cols);
-
-    // One allreduce: [upper(G) | A_gᵀ·r̃].
-    const std::size_t tri = detail::triangle_size(size);
-    std::vector<double> buffer(tri + size);
-    {
-      const la::DenseMatrix g_local = batch.gram();
-      comm.add_flops(batch.gram_flops());
-      detail::pack_upper(g_local, std::span<double>(buffer.data(), tri));
-      const std::vector<double> dots = batch.dot_all(res);
-      comm.add_flops(batch.dot_all_flops());
-      std::copy(dots.begin(), dots.end(), buffer.begin() + tri);
-    }
-    comm.allreduce_sum(buffer);
-    const la::DenseMatrix gram = detail::unpack_upper(
-        std::span<const double>(buffer.data(), tri), size);
-
-    const double v = la::largest_eigenvalue_psd(gram);
-    comm.add_replicated_flops(detail::eig_flops(size));
-    if (v == 0.0) continue;  // all-zero group: nothing to update
-    const double eta = 1.0 / v;
-
-    // Joint proximal step on the whole group:
-    //   u = x_g − η·∇_g f;  x_g⁺ = block_soft_threshold(u, λη).
-    std::vector<double> u(size);
-    for (std::size_t l = 0; l < size; ++l)
-      u[l] = x[begin + l] - eta * buffer[tri + l];
-    group_soft_threshold(u, options.lambda * eta);
-
-    for (std::size_t l = 0; l < size; ++l) {
-      const double delta = u[l] - x[begin + l];
-      if (delta == 0.0) continue;
-      x[begin + l] = u[l];
-      batch.add_scaled_to(l, delta, res);
-      comm.add_flops(2 * batch.member_nnz(l));
-    }
-
-    if (options.trace_every > 0 && h % options.trace_every == 0)
-      record_trace(h);
-    trace.iterations_run = h;
-  }
-  if (options.trace_every > 0 &&
-      (trace.points.empty() ||
-       trace.points.back().iteration != trace.iterations_run)) {
-    record_trace(trace.iterations_run);
-  }
-
-  trace.final_stats = comm.stats();
-  trace.total_wall_seconds = seconds_since(start);
-  return result;
+  SolveResult r = detail::make_group_lasso_engine(
+                      comm, dataset, rows, detail::to_spec(options, 0))
+                      ->run();
+  return LassoResult{std::move(r.x), std::move(r.trace)};
 }
 
 LassoResult solve_group_lasso_serial(const data::Dataset& dataset,

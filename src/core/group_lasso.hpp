@@ -6,6 +6,10 @@
 // This solver therefore iterates over the *groups* (uniformly at random,
 // seed-replicated) and applies the block soft-threshold prox jointly,
 // using the same one-allreduce-per-iteration pattern as solve_lasso.
+//
+// These entry points are thin wrappers over the unified Solver facade
+// (algorithm id "group-lasso" in core/registry.hpp); prefer SolverSpec +
+// make_solver in new code.
 #pragma once
 
 #include <vector>

@@ -1,9 +1,11 @@
 #include "core/path.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "core/objective.hpp"
+#include "core/registry.hpp"
 
 namespace sa::core {
 
@@ -39,30 +41,33 @@ std::vector<PathPoint> lasso_path(dist::Communicator& comm,
     SA_CHECK(grid[i - 1] >= grid[i],
              "lasso_path: lambda grid must be sorted descending");
 
+  // The per-λ spec: the spec's own algorithm id is honored (and must be
+  // Lasso-family); PathOptions::s > 0 (kept for compatibility with the
+  // old two-function dispatch) forces the s-step variant.  λ and the warm
+  // start rotate per grid point.
+  SolverSpec spec = options.solver;
+  SA_CHECK(spec.family() == SolverFamily::kLasso,
+           "lasso_path: solver must be a Lasso-family algorithm");
+  if (options.s > 0) {
+    spec.algorithm = "sa-lasso";
+    spec.s = options.s;
+  }
+
   std::vector<PathPoint> path;
   path.reserve(grid.size());
-  std::vector<double> warm;  // previous solution
 
   for (double lambda : grid) {
-    LassoOptions opts = options.solver;
-    opts.lambda = lambda;
-    opts.x0 = warm;
-    const LassoResult result = [&] {
-      if (options.s == 0) return solve_lasso(comm, dataset, rows, opts);
-      SaLassoOptions sa_opts;
-      sa_opts.base = opts;
-      sa_opts.s = options.s;
-      return solve_sa_lasso(comm, dataset, rows, sa_opts);
-    }();
+    spec.lambda = lambda;
+    SolveResult result = make_solver(comm, dataset, rows, spec)->run();
 
     PathPoint point;
     point.lambda = lambda;
-    point.x = result.x;
     point.objective = lasso_objective(dataset.a, dataset.b, result.x, lambda);
     for (double v : result.x)
       if (v != 0.0) ++point.nonzeros;
     point.iterations = result.trace.iterations_run;
-    warm = result.x;
+    spec.x0 = std::move(result.x);  // warm-start the next grid point
+    point.x = spec.x0;
     path.push_back(std::move(point));
   }
   return path;

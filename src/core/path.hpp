@@ -2,18 +2,18 @@
 //
 // Computes solutions along a decreasing λ grid, warm-starting each solve
 // from the previous solution — the standard way practitioners use Lasso
-// (scikit-learn's lasso_path, glmnet).  Built entirely on the public
-// solver API, so paths run serially or distributed and with either the
-// classical or the synchronization-avoiding solver.
+// (scikit-learn's lasso_path, glmnet).  Built entirely on the unified
+// sa::core::Solver facade (make_solver), so paths run serially or
+// distributed and with either the classical or the
+// synchronization-avoiding solver.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "core/cd_lasso.hpp"
-#include "core/sa_lasso.hpp"
-#include "core/solver_options.hpp"
+#include "core/solver.hpp"
 #include "data/dataset.hpp"
+#include "data/partition.hpp"
 
 namespace sa::core {
 
@@ -28,7 +28,10 @@ struct PathPoint {
 
 /// Options for a path computation.
 struct PathOptions {
-  LassoOptions solver;            ///< per-λ solver settings (λ is overridden)
+  /// Per-λ solver settings (λ, warm start, and — unless you set a
+  /// Lasso-family algorithm id yourself — the algorithm are overridden
+  /// per grid point).  Must name a Lasso-family algorithm.
+  SolverSpec solver;
   std::size_t num_lambdas = 20;   ///< grid size when `lambdas` is empty
   double lambda_min_ratio = 1e-3; ///< λ_min = ratio · λ_max (auto grid)
   std::vector<double> lambdas;    ///< explicit grid (sorted descending);
@@ -45,8 +48,9 @@ std::vector<double> default_lambda_grid(const data::Dataset& dataset,
 std::vector<PathPoint> lasso_path(const data::Dataset& dataset,
                                   const PathOptions& options);
 
-/// Distributed variant: call on every rank (same conventions as
-/// solve_lasso); results are replicated.
+/// Distributed variant: call on every rank with identical arguments
+/// (1D-row partition, as the Lasso family expects); results are
+/// replicated.
 std::vector<PathPoint> lasso_path(dist::Communicator& comm,
                                   const data::Dataset& dataset,
                                   const data::Partition& rows,

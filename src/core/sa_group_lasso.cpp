@@ -1,12 +1,17 @@
+// The Group Lasso family engine: randomized group BCD with the
+// non-separable block soft-threshold prox, classical (s = 1) and
+// synchronization-avoiding (s > 1) in one class.  A communication round
+// samples s_eff groups, performs the ONE fused allreduce
+// [upper(G) | Yᵀr̃], and replays the group updates redundantly.
 #include "core/sa_group_lasso.hpp"
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cmath>
 
 #include "common/check.hpp"
 #include "core/detail.hpp"
+#include "core/engine.hpp"
 #include "core/prox.hpp"
 #include "data/rng.hpp"
 #include "la/batch_view.hpp"
@@ -18,209 +23,217 @@ namespace sa::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+class GroupLassoEngine final : public detail::EngineBase {
+ public:
+  GroupLassoEngine(dist::Communicator& comm, const data::Dataset& dataset,
+                   const data::Partition& rows, const SolverSpec& spec)
+      : EngineBase(comm, spec),
+        n_(dataset.num_features()),
+        block_(dataset, rows, comm.rank()),
+        rng_(spec.seed),
+        x_(n_, 0.0),
+        res_(block_.local_rows()),
+        group_of_(spec.unroll_depth()),
+        offset_(spec.unroll_depth() + 1) {
+    const GroupStructure& groups = spec_.groups;
+    // Largest group size bounds every per-group scratch buffer below.
+    std::size_t max_group = 0;
+    for (std::size_t g = 0; g < groups.num_groups(); ++g)
+      max_group = std::max(max_group,
+                           groups.offsets[g + 1] - groups.offsets[g]);
+    r_.resize(max_group);
+    u_.resize(max_group);
+    base_state_.resize(max_group);
+    gjj_.reshape(max_group, max_group);
+    eig_scratch_.reserve(max_group);
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+    if (!spec_.x0.empty()) {
+      x_ = spec_.x0;
+      block_.matrix().spmv(x_, res_);
+      for (std::size_t i = 0; i < res_.size(); ++i)
+        res_[i] -= block_.labels()[i];
+    } else {
+      for (std::size_t i = 0; i < res_.size(); ++i)
+        res_[i] = -block_.labels()[i];
+    }
+  }
 
-}  // namespace
+ private:
+  enum : std::size_t { kSlotIdx = 0 };
+  enum : std::size_t { kSlotDelta = 0, kSlotBuffer = 1 };
 
-LassoResult solve_sa_group_lasso(dist::Communicator& comm,
-                                 const data::Dataset& dataset,
-                                 const data::Partition& rows,
-                                 const SaGroupLassoOptions& options) {
-  const GroupLassoOptions& base = options.base;
-  const GroupStructure& groups = base.groups;
-  SA_CHECK(options.s >= 1, "solve_sa_group_lasso: s must be >= 1");
-  SA_CHECK(groups.num_groups() > 0 &&
-               groups.offsets.back() == dataset.num_features(),
-           "solve_sa_group_lasso: groups must cover all features");
-  SA_CHECK(base.lambda >= 0.0, "solve_sa_group_lasso: lambda must be >= 0");
-
-  const auto start = Clock::now();
-  const std::size_t n = dataset.num_features();
-  const std::size_t s = options.s;
-  RowBlock block(dataset, rows, comm.rank());
-  data::SplitMix64 rng(base.seed);
-
-  // Largest group size bounds every per-group scratch buffer below.
-  std::size_t max_group = 0;
-  for (std::size_t g = 0; g < groups.num_groups(); ++g)
-    max_group = std::max(max_group,
-                         groups.offsets[g + 1] - groups.offsets[g]);
-
-  LassoResult result;
-  result.x.assign(n, 0.0);
-  std::vector<double>& x = result.x;
-  std::vector<double> res(block.local_rows());  // r̃ = A·x − b (local slice)
-  for (std::size_t i = 0; i < res.size(); ++i) res[i] = -block.labels()[i];
-  Trace& trace = result.trace;
-
-  const auto record_trace = [&](std::size_t iteration) {
-    const dist::CommStats snapshot = comm.stats();
-    const double total_sq = comm.allreduce_sum_scalar(la::nrm2_squared(res));
+  void record_trace_point(std::size_t iteration) override {
+    const GroupStructure& groups = spec_.groups;
+    const dist::CommStats snapshot = comm_.stats();
+    const double total_sq =
+        comm_.allreduce_sum_scalar(la::nrm2_squared(res_));
     double penalty = 0.0;
     for (std::size_t g = 0; g < groups.num_groups(); ++g) {
       const std::size_t begin = groups.offsets[g];
       penalty += la::nrm2(std::span<const double>(
-          x.data() + begin, groups.offsets[g + 1] - begin));
+          x_.data() + begin, groups.offsets[g + 1] - begin));
     }
-    comm.set_stats(snapshot);
-    TracePoint point;
-    point.iteration = iteration;
-    point.objective = 0.5 * total_sq + base.lambda * penalty;
-    point.stats = snapshot;
-    point.wall_seconds = seconds_since(start);
-    trace.points.push_back(point);
-  };
+    comm_.set_stats(snapshot);
+    push_trace_point(iteration, 0.5 * total_sq + spec_.lambda * penalty,
+                     snapshot);
+  }
 
-  if (base.trace_every > 0) record_trace(0);
-
-  // s-step workspace.  Unlike the fixed-µ solvers, k varies per iteration
-  // when groups have unequal sizes, so the arena slots high-water-mark
-  // their capacity; the per-group scratch is sized by max_group up front,
-  // leaving the steady-state loop allocation-free.
-  la::Workspace ws;
-  enum : std::size_t { kSlotIdx = 0 };                 // index pool
-  enum : std::size_t { kSlotDelta = 0, kSlotBuffer = 1 };
-  std::vector<std::size_t> group_of(s);
-  std::vector<std::size_t> offset(s + 1);
-  std::vector<double> r(max_group);
-  std::vector<double> u(max_group);
-  std::vector<double> base_state(max_group);
-  la::DenseMatrix gjj(max_group, max_group);
-  la::EigenScratch eig_scratch;
-  eig_scratch.reserve(max_group);
-
-  std::size_t iterations_done = 0;
-  std::size_t since_trace = 0;
-  while (iterations_done < base.max_iterations) {
-    const std::size_t s_eff =
-        std::min(s, base.max_iterations - iterations_done);
+  void do_round(std::size_t s_eff) override {
+    const GroupStructure& groups = spec_.groups;
 
     // --- Sample s_eff groups (with replacement, seed-replicated).
     //     Groups vary in size, so track the offset of each block inside
     //     the stacked batch; the sampled column indices are contiguous
     //     runs viewed zero-copy in the resident CSC storage. ---
-    offset[0] = 0;
+    offset_[0] = 0;
     for (std::size_t t = 0; t < s_eff; ++t) {
       const auto g =
-          static_cast<std::size_t>(rng.next_below(groups.num_groups()));
-      group_of[t] = g;
-      offset[t + 1] =
-          offset[t] + (groups.offsets[g + 1] - groups.offsets[g]);
+          static_cast<std::size_t>(rng_.next_below(groups.num_groups()));
+      group_of_[t] = g;
+      offset_[t + 1] =
+          offset_[t] + (groups.offsets[g + 1] - groups.offsets[g]);
     }
-    const std::size_t k = offset[s_eff];
-    const std::span<std::size_t> idx = ws.indices(kSlotIdx, k);
+    const std::size_t k = offset_[s_eff];
+    const std::span<std::size_t> idx = ws_.indices(kSlotIdx, k);
     for (std::size_t t = 0; t < s_eff; ++t) {
-      const std::size_t begin = groups.offsets[group_of[t]];
-      for (std::size_t l = 0; l < offset[t + 1] - offset[t]; ++l)
-        idx[offset[t] + l] = begin + l;
+      const std::size_t begin = groups.offsets[group_of_[t]];
+      for (std::size_t l = 0; l < offset_[t + 1] - offset_[t]; ++l)
+        idx[offset_[t] + l] = begin + l;
     }
-    const la::BatchView big = block.view_columns(idx, ws);
+    const la::BatchView big = block_.view_columns(idx, ws_);
 
     // --- ONE allreduce: [upper(G) | Yᵀr̃], fused into the buffer. ---
     const std::size_t tri = detail::triangle_size(k);
-    const std::span<double> buffer = ws.doubles(kSlotBuffer, tri + k);
+    const std::span<double> buffer = ws_.doubles(kSlotBuffer, tri + k);
     const std::array<std::span<const double>, 1> rhs{
-        std::span<const double>(res)};
+        std::span<const double>(res_)};
     la::sampled_gram_and_dots(big, rhs, buffer);
-    comm.add_flops(big.gram_flops() + big.dot_all_flops());
-    comm.allreduce_sum(buffer);
+    comm_.add_flops(big.gram_flops() + big.dot_all_flops());
+    comm_.allreduce_sum(buffer);
     const detail::PackedUpper gram(buffer.data(), k);
     const std::span<const double> rdots(buffer.data() + tri, k);
 
     // --- Redundant inner iterations: the plain-BCD unrolling with the
     //     group soft-threshold as the (non-separable) prox. ---
-    const std::span<double> delta = ws.doubles(kSlotDelta, k);
+    const std::span<double> delta = ws_.doubles(kSlotDelta, k);
     la::fill(delta, 0.0);
     for (std::size_t j = 0; j < s_eff; ++j) {
-      const std::size_t size = offset[j + 1] - offset[j];
+      const std::size_t size = offset_[j + 1] - offset_[j];
 
       // Cheap v == 0 pre-check via the (global) Gram diagonal: a PSD
       // block is zero iff its diagonal is, and the allreduced diagonal is
-      // identical on every rank, so the branch stays replicated.  (The
-      // per-rank RowBlock::col_norms_squared() partials cannot decide
-      // this in the distributed setting.)
+      // identical on every rank, so the branch stays replicated.
       bool empty_block = true;
       for (std::size_t a = 0; a < size; ++a) {
-        if (gram(offset[j] + a, offset[j] + a) != 0.0) {
+        if (gram(offset_[j] + a, offset_[j] + a) != 0.0) {
           empty_block = false;
           break;
         }
       }
       if (empty_block) continue;  // all-zero group block: no update
 
-      gjj.reshape(size, size);
+      gjj_.reshape(size, size);
       for (std::size_t a = 0; a < size; ++a)
         for (std::size_t b = 0; b < size; ++b)
-          gjj(a, b) = gram(offset[j] + a, offset[j] + b);
-      const double v = la::largest_eigenvalue_psd(gjj, eig_scratch);
-      comm.add_replicated_flops(detail::eig_flops(size));
+          gjj_(a, b) = gram(offset_[j] + a, offset_[j] + b);
+      const double v = la::largest_eigenvalue_psd(gjj_, eig_scratch_);
+      comm_.add_replicated_flops(detail::eig_flops(size));
       if (v == 0.0) continue;  // all-zero group block: no update
       const double eta = 1.0 / v;
 
       // r_j = A_gⱼᵀ r̃_sk + Σ_{t<j} G_{jt} Δ_t  (unrolled residual).
-      for (std::size_t a = 0; a < size; ++a) r[a] = rdots[offset[j] + a];
+      for (std::size_t a = 0; a < size; ++a) r_[a] = rdots[offset_[j] + a];
       for (std::size_t t = 0; t < j; ++t) {
-        const std::size_t tsize = offset[t + 1] - offset[t];
+        const std::size_t tsize = offset_[t + 1] - offset_[t];
         for (std::size_t a = 0; a < size; ++a) {
           double acc = 0.0;
           for (std::size_t b = 0; b < tsize; ++b)
-            acc += gram(offset[j] + a, offset[t] + b) * delta[offset[t] + b];
-          r[a] += acc;
+            acc +=
+                gram(offset_[j] + a, offset_[t] + b) * delta[offset_[t] + b];
+          r_[a] += acc;
         }
-        comm.add_replicated_flops(2 * size * tsize);
+        comm_.add_replicated_flops(2 * size * tsize);
       }
 
       // Deferred group state: x_gⱼ plus earlier updates to the SAME group
       // (groups are disjoint, so overlap is all-or-nothing).
-      const std::size_t begin = groups.offsets[group_of[j]];
-      for (std::size_t a = 0; a < size; ++a) u[a] = x[begin + a];
+      const std::size_t begin = groups.offsets[group_of_[j]];
+      for (std::size_t a = 0; a < size; ++a) u_[a] = x_[begin + a];
       for (std::size_t t = 0; t < j; ++t) {
-        if (group_of[t] != group_of[j]) continue;
-        for (std::size_t a = 0; a < size; ++a) u[a] += delta[offset[t] + a];
+        if (group_of_[t] != group_of_[j]) continue;
+        for (std::size_t a = 0; a < size; ++a)
+          u_[a] += delta[offset_[t] + a];
       }
-      for (std::size_t a = 0; a < size; ++a) base_state[a] = u[a];
+      for (std::size_t a = 0; a < size; ++a) base_state_[a] = u_[a];
 
       // Joint proximal step:  u := GST(u − η·r, λη).
-      for (std::size_t a = 0; a < size; ++a) u[a] -= eta * r[a];
-      group_soft_threshold(std::span<double>(u.data(), size),
-                           base.lambda * eta);
+      for (std::size_t a = 0; a < size; ++a) u_[a] -= eta * r_[a];
+      group_soft_threshold(std::span<double>(u_.data(), size),
+                           spec_.lambda * eta);
       for (std::size_t a = 0; a < size; ++a)
-        delta[offset[j] + a] = u[a] - base_state[a];
+        delta[offset_[j] + a] = u_[a] - base_state_[a];
     }
 
     // --- Deferred batch updates. ---
     for (std::size_t t = 0; t < s_eff; ++t) {
-      const std::size_t begin = groups.offsets[group_of[t]];
-      for (std::size_t a = 0; a < offset[t + 1] - offset[t]; ++a) {
-        const double d = delta[offset[t] + a];
+      const std::size_t begin = groups.offsets[group_of_[t]];
+      for (std::size_t a = 0; a < offset_[t + 1] - offset_[t]; ++a) {
+        const double d = delta[offset_[t] + a];
         if (d == 0.0) continue;
-        x[begin + a] += d;
-        big.add_scaled_to(offset[t] + a, d, res);
-        comm.add_flops(2 * big.member_nnz(offset[t] + a));
+        x_[begin + a] += d;
+        big.add_scaled_to(offset_[t] + a, d, res_);
+        comm_.add_flops(2 * big.member_nnz(offset_[t] + a));
       }
     }
-
-    iterations_done += s_eff;
-    since_trace += s_eff;
-    if (base.trace_every > 0 && since_trace >= base.trace_every) {
-      record_trace(iterations_done);
-      since_trace = 0;
-    }
-    trace.iterations_run = iterations_done;
-  }
-  if (base.trace_every > 0 &&
-      (trace.points.empty() ||
-       trace.points.back().iteration != iterations_done)) {
-    record_trace(iterations_done);
   }
 
-  trace.final_stats = comm.stats();
-  trace.total_wall_seconds = seconds_since(start);
-  return result;
+  void assemble(SolveResult& out) override { out.x = x_; }
+
+  const std::size_t n_;
+  RowBlock block_;
+  data::SplitMix64 rng_;
+
+  std::vector<double> x_;
+  std::vector<double> res_;  // r̃ = A·x − b (local slice)
+
+  // s-step workspace.  Unlike the fixed-µ solvers, k varies per round
+  // when groups have unequal sizes, so the arena slots high-water-mark
+  // their capacity; the per-group scratch is sized by max_group up front,
+  // leaving the steady-state loop allocation-free.
+  la::Workspace ws_;
+  std::vector<std::size_t> group_of_;
+  std::vector<std::size_t> offset_;
+  std::vector<double> r_;
+  std::vector<double> u_;
+  std::vector<double> base_state_;
+  la::DenseMatrix gjj_;
+  la::EigenScratch eig_scratch_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Solver> make_group_lasso_engine(dist::Communicator& comm,
+                                                const data::Dataset& dataset,
+                                                const data::Partition& rows,
+                                                const SolverSpec& spec) {
+  spec.validate(dataset);
+  return std::make_unique<GroupLassoEngine>(comm, dataset, rows, spec);
+}
+
+}  // namespace detail
+
+LassoResult solve_sa_group_lasso(dist::Communicator& comm,
+                                 const data::Dataset& dataset,
+                                 const data::Partition& rows,
+                                 const SaGroupLassoOptions& options) {
+  SA_CHECK(options.s >= 1, "solve_sa_group_lasso: s must be >= 1");
+  SolveResult r = detail::make_group_lasso_engine(
+                      comm, dataset, rows,
+                      detail::to_spec(options.base, options.s))
+                      ->run();
+  return LassoResult{std::move(r.x), std::move(r.trace)};
 }
 
 LassoResult solve_sa_group_lasso_serial(const data::Dataset& dataset,

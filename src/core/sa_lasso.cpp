@@ -1,11 +1,21 @@
+// The Lasso/elastic-net family engine (paper Algorithms 1 and 2).
+//
+// One class implements CD/BCD/accCD/accBCD *and* their
+// synchronization-avoiding variants: a communication round samples
+// s_eff·µ coordinates, performs the ONE fused allreduce
+// [upper(G) | Yᵀỹ | Yᵀz̃], and replays s_eff redundant inner iterations —
+// with s_eff == 1 this is exactly Algorithm 1, so the classical solvers
+// are this engine at unrolling depth 1 (and inherit the zero-copy
+// la::BatchView + la::Workspace pipeline for free).
 #include "core/sa_lasso.hpp"
 
 #include <array>
-#include <chrono>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "core/cd_lasso.hpp"
 #include "core/detail.hpp"
+#include "core/engine.hpp"
 #include "core/prox.hpp"
 #include "data/rng.hpp"
 #include "la/batch_view.hpp"
@@ -17,171 +27,129 @@ namespace sa::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
-
-LassoResult solve_sa_lasso(dist::Communicator& comm,
-                           const data::Dataset& dataset,
-                           const data::Partition& rows,
-                           const SaLassoOptions& options) {
-  const LassoOptions& base = options.base;
-  SA_CHECK(options.s >= 1, "solve_sa_lasso: s must be >= 1");
-  SA_CHECK(base.block_size >= 1 &&
-               base.block_size <= dataset.num_features(),
-           "solve_sa_lasso: block size must be in [1, n]");
-  SA_CHECK(base.lambda >= 0.0, "solve_sa_lasso: lambda must be >= 0");
-
-  const auto start = Clock::now();
-  const std::size_t n = dataset.num_features();
-  const std::size_t mu = base.block_size;
-  const std::size_t s = options.s;
-  const detail::ProxSpec prox = detail::ProxSpec::from_options(base);
-
-  RowBlock block(dataset, rows, comm.rank());
-  data::CoordinateSampler sampler(n, mu, base.seed);
-
-  LassoResult result;
-  result.x.assign(n, 0.0);
-  Trace& trace = result.trace;
-
-  // Replicated / partitioned state exactly as in solve_lasso (cd_lasso.cpp):
-  // plain mode uses (z, z̃) as (x, r̃) and ignores (y, ỹ).
-  std::vector<double> z(n, 0.0);
-  std::vector<double> y(n, 0.0);
-  std::vector<double> z_img(block.local_rows());
-  std::vector<double> y_img(block.local_rows(), 0.0);
-  if (!base.x0.empty()) {
-    SA_CHECK(base.x0.size() == n, "solve_sa_lasso: x0 must have length n");
-    z = base.x0;
-    block.matrix().spmv(z, z_img);
-    for (std::size_t i = 0; i < z_img.size(); ++i)
-      z_img[i] -= block.labels()[i];
-  } else {
-    for (std::size_t i = 0; i < z_img.size(); ++i)
-      z_img[i] = -block.labels()[i];
+class LassoEngine final : public detail::EngineBase {
+ public:
+  LassoEngine(dist::Communicator& comm, const data::Dataset& dataset,
+              const data::Partition& rows, const SolverSpec& spec)
+      : EngineBase(comm, spec),
+        n_(dataset.num_features()),
+        mu_(spec.block_size),
+        prox_(detail::ProxSpec{spec.penalty, spec.lambda,
+                               spec.elastic_net_l1, spec.elastic_net_l2}),
+        block_(dataset, rows, comm.rank()),
+        sampler_(n_, mu_, spec.seed),
+        z_(n_, 0.0),
+        y_(n_, 0.0),
+        z_img_(block_.local_rows()),
+        y_img_(block_.local_rows(), 0.0),
+        q_(std::ceil(static_cast<double>(n_) / static_cast<double>(mu_))),
+        theta_(static_cast<double>(mu_) / static_cast<double>(n_)),
+        theta_in_(spec.unroll_depth() + 1),
+        r_(mu_),
+        gjj_(mu_, mu_),
+        x_scratch_(n_),
+        res_scratch_(block_.local_rows()) {
+    // Warm start: z = x0, y = 0 (so x = θ²·y + z = x0), z̃ = A·x0 − b.
+    if (!spec_.x0.empty()) {
+      z_ = spec_.x0;
+      block_.matrix().spmv(z_, z_img_);
+      for (std::size_t i = 0; i < z_img_.size(); ++i)
+        z_img_[i] -= block_.labels()[i];
+    } else {
+      for (std::size_t i = 0; i < z_img_.size(); ++i)
+        z_img_[i] = -block_.labels()[i];
+    }
+    eig_scratch_.reserve(mu_);
+    // Flat pending-update table + touched list (replaces a per-iteration
+    // map): pending[coord] accumulates this round's deferred updates and
+    // is restored to all-zero via `touched` at the end, so the O(n) table
+    // is paid once, not per round.  The slot never grows past n, so the
+    // span stays valid for the engine's lifetime.
+    pending_ = ws_.doubles(kSlotPending, n_);
+    touched_.reserve(spec_.unroll_depth() * mu_);
   }
 
-  const double q =
-      std::ceil(static_cast<double>(n) / static_cast<double>(mu));
-  double theta = static_cast<double>(mu) / static_cast<double>(n);
+ private:
+  // Workspace slots (indices pool / doubles pool are independent).
+  enum : std::size_t { kSlotIdx = 0 };
+  enum : std::size_t { kSlotDelta = 0, kSlotPending = 1, kSlotBuffer = 2 };
 
-  const auto write_current_x = [&](std::span<double> out) {
-    if (!base.accelerated) {
-      la::copy(z, out);
+  void write_current_x(std::span<double> out) const {
+    if (!spec_.accelerated) {
+      la::copy(z_, out);
       return;
     }
-    const double t2 = theta * theta;
-    for (std::size_t j = 0; j < n; ++j) out[j] = t2 * y[j] + z[j];
-  };
+    const double t2 = theta_ * theta_;
+    for (std::size_t j = 0; j < n_; ++j) out[j] = t2 * y_[j] + z_[j];
+  }
 
-  // Trace scratch, reused across every trace point (no fresh vectors).
-  std::vector<double> x_scratch(n);
-  std::vector<double> res_scratch(block.local_rows());
-
-  const auto record_trace = [&](std::size_t iteration) {
-    const dist::CommStats snapshot = comm.stats();
-    write_current_x(x_scratch);
-    const double t2 = theta * theta;
-    for (std::size_t i = 0; i < res_scratch.size(); ++i)
-      res_scratch[i] =
-          base.accelerated ? t2 * y_img[i] + z_img[i] : z_img[i];
+  void record_trace_point(std::size_t iteration) override {
+    const dist::CommStats snapshot = comm_.stats();
+    write_current_x(x_scratch_);
+    const double t2 = theta_ * theta_;
+    for (std::size_t i = 0; i < res_scratch_.size(); ++i)
+      res_scratch_[i] =
+          spec_.accelerated ? t2 * y_img_[i] + z_img_[i] : z_img_[i];
     const double total_sq =
-        comm.allreduce_sum_scalar(la::nrm2_squared(res_scratch));
+        comm_.allreduce_sum_scalar(la::nrm2_squared(res_scratch_));
     double penalty_value = 0.0;
-    switch (base.penalty) {
+    switch (spec_.penalty) {
       case Penalty::kLasso:
-        penalty_value = base.lambda * la::asum(x_scratch);
+        penalty_value = spec_.lambda * la::asum(x_scratch_);
         break;
       case Penalty::kElasticNet:
         penalty_value =
-            base.lambda * (base.elastic_net_l1 * la::asum(x_scratch) +
-                           base.elastic_net_l2 *
-                               la::nrm2_squared(x_scratch));
+            spec_.lambda * (spec_.elastic_net_l1 * la::asum(x_scratch_) +
+                            spec_.elastic_net_l2 *
+                                la::nrm2_squared(x_scratch_));
         break;
     }
-    comm.set_stats(snapshot);
-    TracePoint point;
-    point.iteration = iteration;
-    point.objective = 0.5 * total_sq + penalty_value;
-    point.stats = snapshot;
-    point.wall_seconds = seconds_since(start);
-    trace.points.push_back(point);
-  };
+    comm_.set_stats(snapshot);
+    push_trace_point(iteration, 0.5 * total_sq + penalty_value, snapshot);
+  }
 
-  if (base.trace_every > 0) record_trace(0);
-
-  // s-step workspace.  The arena slots (sampled indices, deferred deltas,
-  // the pending-update table, the allreduce buffer) and the fixed-size
-  // scratch below are sized by the first (largest) outer iteration and
-  // reused verbatim afterwards: the steady-state inner loop performs no
-  // heap allocation.
-  la::Workspace ws;
-  enum : std::size_t { kSlotIdx = 0 };                      // index pool
-  enum : std::size_t { kSlotDelta = 0, kSlotPending = 1, kSlotBuffer = 2 };
-  std::vector<double> theta_in(s + 1);
-  std::vector<double> r(mu);
-  la::DenseMatrix gjj(mu, mu);
-  la::EigenScratch eig_scratch;
-  eig_scratch.reserve(mu);
-  // Flat pending-update table + touched list (replaces the per-iteration
-  // unordered_map): pending[coord] accumulates this outer iteration's
-  // deferred updates and is restored to all-zero via `touched` at the end,
-  // so the O(n) table is paid once, not per iteration.
-  const std::span<double> pending = ws.doubles(kSlotPending, n);
-  std::vector<std::size_t> touched;
-  touched.reserve(s * mu);
-
-  std::size_t iterations_done = 0;
-  std::size_t since_trace = 0;
-  while (iterations_done < base.max_iterations) {
-    const std::size_t s_eff =
-        std::min(s, base.max_iterations - iterations_done);
-    const std::size_t k = s_eff * mu;  // members of the sampled batch
+  void do_round(std::size_t s_eff) override {
+    const std::size_t k = s_eff * mu_;  // members of the sampled batch
 
     // --- Sampling: s_eff blocks of µ coordinates (seed-replicated),
     //     viewed zero-copy in the resident CSC storage. ---
-    const std::span<std::size_t> idx = ws.indices(kSlotIdx, k);
+    const std::span<std::size_t> idx = ws_.indices(kSlotIdx, k);
     for (std::size_t t = 0; t < s_eff; ++t)
-      sampler.next_into(idx.subspan(t * mu, mu));
-    const la::BatchView big = block.view_columns(idx, ws);
+      sampler_.next_into(idx.subspan(t * mu_, mu_));
+    const la::BatchView big = block_.view_columns(idx, ws_);
 
     // --- The ONE communication round of this outer iteration:
     //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]),
     //     fused straight into the allreduce buffer. ---
     const std::size_t tri = detail::triangle_size(k);
-    const std::size_t sections = base.accelerated ? 2 : 1;
+    const std::size_t sections = spec_.accelerated ? 2 : 1;
     const std::span<double> buffer =
-        ws.doubles(kSlotBuffer, tri + sections * k);
+        ws_.doubles(kSlotBuffer, tri + sections * k);
     const std::array<std::span<const double>, 2> rhs{
-        std::span<const double>(y_img), std::span<const double>(z_img)};
+        std::span<const double>(y_img_), std::span<const double>(z_img_)};
     la::sampled_gram_and_dots(
         big,
         std::span<const std::span<const double>>(
-            rhs.data() + (base.accelerated ? 0 : 1), sections),
+            rhs.data() + (spec_.accelerated ? 0 : 1), sections),
         buffer);
-    comm.add_flops(big.gram_flops() + sections * big.dot_all_flops());
-    comm.allreduce_sum(buffer);
+    comm_.add_flops(big.gram_flops() + sections * big.dot_all_flops());
+    comm_.allreduce_sum(buffer);
     const detail::PackedUpper gram(buffer.data(), k);
     const std::span<const double> dots1(buffer.data() + tri, k);
     const std::span<const double> dots2(
-        buffer.data() + tri + (base.accelerated ? k : 0),
-        base.accelerated ? k : 0);
+        buffer.data() + tri + (spec_.accelerated ? k : 0),
+        spec_.accelerated ? k : 0);
 
     // --- Redundant inner iterations (equations (3)–(5)), replicated. ---
     // θ entering inner iteration t (θ_{sk+t} in paper indexing, t 0-based).
-    theta_in[0] = theta;
+    theta_in_[0] = theta_;
     for (std::size_t t = 0; t < s_eff; ++t)
-      theta_in[t + 1] = detail::theta_next(theta_in[t]);
+      theta_in_[t + 1] = detail::theta_next(theta_in_[t]);
 
     // Deferred per-iteration solution updates Δz (µ each, flat).
-    const std::span<double> delta = ws.doubles(kSlotDelta, k);
+    const std::span<double> delta = ws_.doubles(kSlotDelta, k);
     la::fill(delta, 0.0);
-    touched.clear();
+    touched_.clear();
 
     for (std::size_t j = 0; j < s_eff; ++j) {
       // Cheap v == 0 pre-check: a PSD block is zero iff its diagonal is
@@ -190,8 +158,8 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
       // RowBlock::col_norms_squared() partials cannot decide this:
       // a locally empty column may be nonzero on a sibling rank.)
       bool empty_block = true;
-      for (std::size_t a = 0; a < mu; ++a) {
-        if (gram(j * mu + a, j * mu + a) != 0.0) {
+      for (std::size_t a = 0; a < mu_; ++a) {
+        if (gram(j * mu_ + a, j * mu_ + a) != 0.0) {
           empty_block = false;
           break;
         }
@@ -200,53 +168,53 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
 
       // Diagonal µ×µ block of G is A_jᵀA_j; its largest eigenvalue is the
       // block Lipschitz constant (Algorithm 2 line 14).
-      for (std::size_t a = 0; a < mu; ++a)
-        for (std::size_t b = 0; b < mu; ++b)
-          gjj(a, b) = gram(j * mu + a, j * mu + b);
-      const double v = la::largest_eigenvalue_psd(gjj, eig_scratch);
-      comm.add_replicated_flops(detail::eig_flops(mu));
-      if (v == 0.0) continue;  // empty block: Δz_j stays 0 (matches Alg. 1)
+      for (std::size_t a = 0; a < mu_; ++a)
+        for (std::size_t b = 0; b < mu_; ++b)
+          gjj_(a, b) = gram(j * mu_ + a, j * mu_ + b);
+      const double v = la::largest_eigenvalue_psd(gjj_, eig_scratch_);
+      comm_.add_replicated_flops(detail::eig_flops(mu_));
+      if (v == 0.0) continue;  // empty block: Δz_j stays 0
 
-      const double theta_prev = theta_in[j];
+      const double theta_prev = theta_in_[j];
       const double eta =
-          base.accelerated ? 1.0 / (q * theta_prev * v) : 1.0 / v;
+          spec_.accelerated ? 1.0 / (q_ * theta_prev * v) : 1.0 / v;
       const double t2 = theta_prev * theta_prev;
 
       // r_j per equation (3) (accelerated) or its plain analogue.
-      for (std::size_t a = 0; a < mu; ++a) {
-        r[a] = base.accelerated
-                   ? t2 * dots1[j * mu + a] + dots2[j * mu + a]
-                   : dots1[j * mu + a];
+      for (std::size_t a = 0; a < mu_; ++a) {
+        r_[a] = spec_.accelerated
+                    ? t2 * dots1[j * mu_ + a] + dots2[j * mu_ + a]
+                    : dots1[j * mu_ + a];
       }
       for (std::size_t t = 0; t < j; ++t) {
         // Coefficient of the G_{jt}·Δz_t correction:
         //   accelerated: −(θ²_{sk+j−1}·(1−qθ_{sk+t−1})/θ²_{sk+t−1} − 1)
         //   plain:       +1   (residual accumulates the raw updates)
         double c = 1.0;
-        if (base.accelerated) {
+        if (spec_.accelerated) {
           const double coeff_t =
-              detail::acceleration_coefficient(theta_in[t], q);
+              detail::acceleration_coefficient(theta_in_[t], q_);
           c = -(t2 * coeff_t - 1.0);
         }
-        for (std::size_t a = 0; a < mu; ++a) {
+        for (std::size_t a = 0; a < mu_; ++a) {
           double acc = 0.0;
-          for (std::size_t b = 0; b < mu; ++b)
-            acc += gram(j * mu + a, t * mu + b) * delta[t * mu + b];
-          r[a] += c * acc;
+          for (std::size_t b = 0; b < mu_; ++b)
+            acc += gram(j * mu_ + a, t * mu_ + b) * delta[t * mu_ + b];
+          r_[a] += c * acc;
         }
-        comm.add_replicated_flops(2 * mu * mu);
+        comm_.add_replicated_flops(2 * mu_ * mu_);
       }
 
       // Equations (4)–(5): proximal step against the deferred state.
-      for (std::size_t a = 0; a < mu; ++a) {
-        const std::size_t coord = idx[j * mu + a];
-        const double base_value = z[coord] + pending[coord];
-        const double g = base_value - eta * r[a];
-        const double d = prox.apply(g, eta) - base_value;
-        delta[j * mu + a] = d;
+      for (std::size_t a = 0; a < mu_; ++a) {
+        const std::size_t coord = idx[j * mu_ + a];
+        const double base_value = z_[coord] + pending_[coord];
+        const double g = base_value - eta * r_[a];
+        const double d = prox_.apply(g, eta) - base_value;
+        delta[j * mu_ + a] = d;
         if (d != 0.0) {
-          pending[coord] += d;
-          touched.push_back(coord);
+          pending_[coord] += d;
+          touched_.push_back(coord);
         }
       }
     }
@@ -254,48 +222,92 @@ LassoResult solve_sa_lasso(dist::Communicator& comm,
     // --- Deferred batch updates (equations (6)–(9)). ---
     for (std::size_t t = 0; t < s_eff; ++t) {
       const double coeff_t =
-          base.accelerated
-              ? detail::acceleration_coefficient(theta_in[t], q)
+          spec_.accelerated
+              ? detail::acceleration_coefficient(theta_in_[t], q_)
               : 0.0;
-      for (std::size_t a = 0; a < mu; ++a) {
-        const double d = delta[t * mu + a];
+      for (std::size_t a = 0; a < mu_; ++a) {
+        const double d = delta[t * mu_ + a];
         if (d == 0.0) continue;
-        const std::size_t coord = idx[t * mu + a];
-        z[coord] += d;
-        big.add_scaled_to(t * mu + a, d, z_img);
-        comm.add_flops(2 * big.member_nnz(t * mu + a));
-        if (base.accelerated) {
-          y[coord] -= coeff_t * d;
-          big.add_scaled_to(t * mu + a, -coeff_t * d, y_img);
-          comm.add_flops(2 * big.member_nnz(t * mu + a));
+        const std::size_t coord = idx[t * mu_ + a];
+        z_[coord] += d;
+        big.add_scaled_to(t * mu_ + a, d, z_img_);
+        comm_.add_flops(2 * big.member_nnz(t * mu_ + a));
+        if (spec_.accelerated) {
+          y_[coord] -= coeff_t * d;
+          big.add_scaled_to(t * mu_ + a, -coeff_t * d, y_img_);
+          comm_.add_flops(2 * big.member_nnz(t * mu_ + a));
         }
       }
     }
-    // Restore the pending table to all-zero for the next outer iteration.
-    for (const std::size_t coord : touched) pending[coord] = 0.0;
+    // Restore the pending table to all-zero for the next round.
+    for (const std::size_t coord : touched_) pending_[coord] = 0.0;
 
-    theta = theta_in[s_eff];
-    iterations_done += s_eff;
-    since_trace += s_eff;
-
-    if (base.trace_every > 0 && since_trace >= base.trace_every) {
-      record_trace(iterations_done);
-      since_trace = 0;
-    }
-    trace.iterations_run = iterations_done;
-  }
-  // Always capture the terminal state so final_objective() reflects the
-  // returned iterate even when H is not a multiple of the trace cadence.
-  if (base.trace_every > 0 &&
-      (trace.points.empty() ||
-       trace.points.back().iteration != iterations_done)) {
-    record_trace(iterations_done);
+    theta_ = theta_in_[s_eff];
   }
 
-  write_current_x(result.x);
-  trace.final_stats = comm.stats();
-  trace.total_wall_seconds = seconds_since(start);
-  return result;
+  void assemble(SolveResult& out) override {
+    out.x.resize(n_);
+    write_current_x(out.x);
+  }
+
+  const std::size_t n_;
+  const std::size_t mu_;
+  const detail::ProxSpec prox_;
+  RowBlock block_;
+  data::CoordinateSampler sampler_;
+
+  // Replicated / partitioned state exactly as in Algorithm 1: x_h =
+  // θ_h²·y_h + z_h with partitioned images ỹ = A·y, z̃ = A·z − b.  Plain
+  // mode uses (z, z̃) as (x, r̃) and ignores (y, ỹ).
+  std::vector<double> z_;
+  std::vector<double> y_;
+  std::vector<double> z_img_;
+  std::vector<double> y_img_;
+  const double q_;
+  double theta_;
+
+  // s-step workspace.  The arena slots (sampled indices, deferred deltas,
+  // the pending-update table, the allreduce buffer) and the fixed-size
+  // scratch below are sized by the first (largest) round and reused
+  // verbatim afterwards: the steady-state loop performs no heap
+  // allocation.
+  la::Workspace ws_;
+  std::vector<double> theta_in_;
+  std::vector<double> r_;
+  la::DenseMatrix gjj_;
+  la::EigenScratch eig_scratch_;
+  std::span<double> pending_;
+  std::vector<std::size_t> touched_;
+
+  // Trace scratch, reused across every trace point (no fresh vectors).
+  std::vector<double> x_scratch_;
+  std::vector<double> res_scratch_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Solver> make_lasso_engine(dist::Communicator& comm,
+                                          const data::Dataset& dataset,
+                                          const data::Partition& rows,
+                                          const SolverSpec& spec) {
+  spec.validate(dataset);
+  return std::make_unique<LassoEngine>(comm, dataset, rows, spec);
+}
+
+}  // namespace detail
+
+LassoResult solve_sa_lasso(dist::Communicator& comm,
+                           const data::Dataset& dataset,
+                           const data::Partition& rows,
+                           const SaLassoOptions& options) {
+  SA_CHECK(options.s >= 1, "solve_sa_lasso: s must be >= 1");
+  SolveResult r =
+      detail::make_lasso_engine(comm, dataset, rows,
+                                detail::to_spec(options.base, options.s))
+          ->run();
+  return LassoResult{std::move(r.x), std::move(r.trace)};
 }
 
 LassoResult solve_sa_lasso_serial(const data::Dataset& dataset,

@@ -1,12 +1,17 @@
+// The dual-CD SVM family engine (paper Algorithms 3 and 4): classical
+// (s = 1) and synchronization-avoiding (s > 1) in one class.  A
+// communication round samples s_eff data points, performs the ONE fused
+// allreduce [upper(G) | Yᵀx], and replays the projected-Newton dual
+// updates redundantly on every rank.
 #include "core/sa_svm.hpp"
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cmath>
 
 #include "common/check.hpp"
 #include "core/detail.hpp"
+#include "core/engine.hpp"
 #include "core/objective.hpp"
 #include "data/rng.hpp"
 #include "la/batch_view.hpp"
@@ -17,163 +22,165 @@ namespace sa::core {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
+/// Projected-Newton dual update (Algorithm 3 lines 9–13): returns the step
+/// θ_h for one coordinate with current value alpha_i, gradient g, curvature
+/// eta, and box [0, ν].
 double dual_step(double alpha_i, double g, double eta, double nu) {
   const double projected = std::min(std::max(alpha_i - g, 0.0), nu);
-  if (projected == alpha_i) return 0.0;
+  if (projected == alpha_i) return 0.0;  // PG check: g̃ == 0, skip update
   return std::min(std::max(alpha_i - g / eta, 0.0), nu) - alpha_i;
 }
 
+class SvmEngine final : public detail::EngineBase {
+ public:
+  SvmEngine(dist::Communicator& comm, const data::Dataset& dataset,
+            const data::Partition& cols, const SolverSpec& spec)
+      : EngineBase(comm, spec),
+        n_(dataset.num_features()),
+        m_(dataset.num_points()),
+        constants_(SvmConstants::make(spec.loss, spec.lambda)),
+        block_(dataset, cols, comm.rank()),
+        cols_(cols),
+        rng_(spec.seed),
+        alpha_(m_, 0.0),
+        x_loc_(block_.local_cols(), 0.0),
+        theta_(spec.unroll_depth()),
+        margins_(m_) {}
+
+ private:
+  enum : std::size_t { kSlotIdx = 0 };     // index pool
+  enum : std::size_t { kSlotBuffer = 0 };  // doubles pool
+
+  void record_trace_point(std::size_t iteration) override {
+    const std::vector<double>& b = block_.labels();
+    const dist::CommStats snapshot = comm_.stats();
+    // Duality gap evaluation (instrumentation only): margins need the full
+    // A·x, assembled from per-rank partial products with one allreduce.
+    block_.matrix().spmv(x_loc_, margins_);
+    comm_.allreduce_sum(margins_);
+    const double x_norm_sq =
+        comm_.allreduce_sum_scalar(la::nrm2_squared(x_loc_));
+    double hinge_sum = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double slack = std::max(0.0, 1.0 - b[i] * margins_[i]);
+      hinge_sum += (spec_.loss == SvmLoss::kL1) ? slack : slack * slack;
+    }
+    const double primal = 0.5 * x_norm_sq + spec_.lambda * hinge_sum;
+    const double dual = la::sum(alpha_) - 0.5 * x_norm_sq -
+                        0.5 * constants_.gamma * la::nrm2_squared(alpha_);
+    comm_.set_stats(snapshot);
+    push_trace_point(iteration, primal - dual, snapshot);
+  }
+
+  void do_round(std::size_t s_eff) override {
+    const std::vector<double>& b = block_.labels();
+
+    // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
+    const std::span<std::size_t> idx = ws_.indices(kSlotIdx, s_eff);
+    for (std::size_t t = 0; t < s_eff; ++t)
+      idx[t] = static_cast<std::size_t>(rng_.next_below(m_));
+    const la::BatchView batch = block_.view_rows(idx, ws_);
+
+    // --- The ONE communication round: [upper(G) | Yᵀx], fused straight
+    //     into the allreduce buffer (zero-copy row views). ---
+    const std::size_t tri = detail::triangle_size(s_eff);
+    const std::span<double> buffer = ws_.doubles(kSlotBuffer, tri + s_eff);
+    const std::array<std::span<const double>, 1> rhs{
+        std::span<const double>(x_loc_)};
+    la::sampled_gram_and_dots(batch, rhs, buffer);
+    comm_.add_flops(batch.gram_flops() + batch.dot_all_flops());
+    comm_.allreduce_sum(buffer);
+    const detail::PackedUpper gram(buffer.data(), s_eff);
+    const std::span<const double> xdots(buffer.data() + tri, s_eff);
+
+    // --- Redundant inner iterations (equations (14)–(15)), replicated.
+    std::fill(theta_.begin(), theta_.begin() + s_eff, 0.0);
+    for (std::size_t j = 0; j < s_eff; ++j) {
+      // η_j = G_jj + γ  (Algorithm 4 line 11: diag of G+γI).
+      const double eta = gram(j, j) + constants_.gamma;
+
+      // β_j per equation (14): α_i plus earlier deferred updates to the
+      // same coordinate.
+      double beta = alpha_[idx[j]];
+      for (std::size_t t = 0; t < j; ++t)
+        if (idx[t] == idx[j]) beta += theta_[t];
+
+      // g_j per equation (15): the cross terms use the off-diagonal Gram
+      // entries  A_jA_tᵀ = G_jt.
+      double g = b[idx[j]] * xdots[j] - 1.0 + constants_.gamma * beta;
+      for (std::size_t t = 0; t < j; ++t) {
+        if (theta_[t] == 0.0) continue;
+        g += theta_[t] * b[idx[j]] * b[idx[t]] * gram(j, t);
+      }
+      comm_.add_replicated_flops(4 * j);
+
+      theta_[j] =
+          (eta > 0.0) ? dual_step(beta, g, eta, constants_.nu) : 0.0;
+    }
+
+    // --- Deferred batch updates:  α += Σ θ_t e_{i_t},  x += Σ θ_t b_t A_tᵀ.
+    for (std::size_t t = 0; t < s_eff; ++t) {
+      if (theta_[t] == 0.0) continue;
+      alpha_[idx[t]] += theta_[t];
+      batch.add_scaled_to(t, theta_[t] * b[idx[t]], x_loc_);
+      comm_.add_flops(2 * batch.member_nnz(t));
+    }
+  }
+
+  void assemble(SolveResult& out) override {
+    // Assemble the full primal vector: zero-extend the local slice, one
+    // sum.
+    out.x.assign(n_, 0.0);
+    std::copy(x_loc_.begin(), x_loc_.end(),
+              out.x.begin() + cols_.begin(comm_.rank()));
+    comm_.allreduce_sum(out.x);
+    out.alpha = alpha_;
+  }
+
+  const std::size_t n_;
+  const std::size_t m_;
+  const SvmConstants constants_;
+  ColBlock block_;
+  const data::Partition cols_;
+  data::SplitMix64 rng_;
+
+  std::vector<double> alpha_;  // dual iterate (replicated)
+  std::vector<double> x_loc_;  // partitioned primal slice
+
+  // s-step workspace: arena-backed indices and allreduce buffer plus the
+  // θ table, sized by the first (largest) round and reused — the
+  // steady-state loop performs no heap allocation.
+  la::Workspace ws_;
+  std::vector<double> theta_;
+
+  // Trace scratch, reused across every trace point (no fresh vectors).
+  std::vector<double> margins_;
+};
+
 }  // namespace
+
+namespace detail {
+
+std::unique_ptr<Solver> make_svm_engine(dist::Communicator& comm,
+                                        const data::Dataset& dataset,
+                                        const data::Partition& cols,
+                                        const SolverSpec& spec) {
+  spec.validate(dataset);
+  return std::make_unique<SvmEngine>(comm, dataset, cols, spec);
+}
+
+}  // namespace detail
 
 SvmResult solve_sa_svm(dist::Communicator& comm,
                        const data::Dataset& dataset,
                        const data::Partition& cols,
                        const SaSvmOptions& options) {
-  const SvmOptions& base = options.base;
   SA_CHECK(options.s >= 1, "solve_sa_svm: s must be >= 1");
-  SA_CHECK(dataset.has_binary_labels(),
-           "solve_sa_svm: labels must be exactly ±1");
-  const SvmConstants constants = SvmConstants::make(base.loss, base.lambda);
-
-  const auto start = Clock::now();
-  const std::size_t m = dataset.num_points();
-  const std::size_t s = options.s;
-  ColBlock block(dataset, cols, comm.rank());
-  const std::vector<double>& b = block.labels();
-
-  data::SplitMix64 rng(base.seed);
-
-  SvmResult result;
-  result.alpha.assign(m, 0.0);
-  std::vector<double>& alpha = result.alpha;
-  std::vector<double> x_loc(block.local_cols(), 0.0);
-  Trace& trace = result.trace;
-
-  // Trace scratch, reused across every trace point (no fresh vectors).
-  std::vector<double> margins(m);
-
-  const auto record_trace = [&](std::size_t iteration) {
-    const dist::CommStats snapshot = comm.stats();
-    block.matrix().spmv(x_loc, margins);
-    comm.allreduce_sum(margins);
-    const double x_norm_sq =
-        comm.allreduce_sum_scalar(la::nrm2_squared(x_loc));
-    double hinge_sum = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double slack = std::max(0.0, 1.0 - b[i] * margins[i]);
-      hinge_sum += (base.loss == SvmLoss::kL1) ? slack : slack * slack;
-    }
-    const double primal = 0.5 * x_norm_sq + base.lambda * hinge_sum;
-    const double dual = la::sum(alpha) - 0.5 * x_norm_sq -
-                        0.5 * constants.gamma * la::nrm2_squared(alpha);
-    comm.set_stats(snapshot);
-    TracePoint point;
-    point.iteration = iteration;
-    point.objective = primal - dual;
-    point.stats = snapshot;
-    point.wall_seconds = seconds_since(start);
-    trace.points.push_back(point);
-  };
-
-  if (base.trace_every > 0) record_trace(0);
-
-  // s-step workspace: arena-backed indices and allreduce buffer plus the
-  // θ table, sized by the first (largest) outer iteration and reused —
-  // the steady-state loop performs no heap allocation.
-  la::Workspace ws;
-  enum : std::size_t { kSlotIdx = 0 };       // index pool
-  enum : std::size_t { kSlotBuffer = 0 };    // doubles pool
-  std::vector<double> theta(s);
-
-  std::size_t iterations_done = 0;
-  std::size_t since_trace = 0;
-  bool stop = false;
-  while (iterations_done < base.max_iterations && !stop) {
-    const std::size_t s_eff =
-        std::min(s, base.max_iterations - iterations_done);
-
-    // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
-    const std::span<std::size_t> idx = ws.indices(kSlotIdx, s_eff);
-    for (std::size_t t = 0; t < s_eff; ++t)
-      idx[t] = static_cast<std::size_t>(rng.next_below(m));
-    const la::BatchView batch = block.view_rows(idx, ws);
-
-    // --- The ONE communication round: [upper(G) | Yᵀx], fused straight
-    //     into the allreduce buffer (zero-copy row views). ---
-    const std::size_t tri = detail::triangle_size(s_eff);
-    const std::span<double> buffer = ws.doubles(kSlotBuffer, tri + s_eff);
-    const std::array<std::span<const double>, 1> rhs{
-        std::span<const double>(x_loc)};
-    la::sampled_gram_and_dots(batch, rhs, buffer);
-    comm.add_flops(batch.gram_flops() + batch.dot_all_flops());
-    comm.allreduce_sum(buffer);
-    const detail::PackedUpper gram(buffer.data(), s_eff);
-    const std::span<const double> xdots(buffer.data() + tri, s_eff);
-
-    // --- Redundant inner iterations (equations (14)–(15)), replicated.
-    std::fill(theta.begin(), theta.begin() + s_eff, 0.0);
-    for (std::size_t j = 0; j < s_eff; ++j) {
-      // η_j = G_jj + γ  (Algorithm 4 line 11: diag of G+γI).
-      const double eta = gram(j, j) + constants.gamma;
-
-      // β_j per equation (14): α_i plus earlier deferred updates to the
-      // same coordinate.
-      double beta = alpha[idx[j]];
-      for (std::size_t t = 0; t < j; ++t)
-        if (idx[t] == idx[j]) beta += theta[t];
-
-      // g_j per equation (15): the cross terms use the off-diagonal Gram
-      // entries  A_jA_tᵀ = G_jt.
-      double g = b[idx[j]] * xdots[j] - 1.0 + constants.gamma * beta;
-      for (std::size_t t = 0; t < j; ++t) {
-        if (theta[t] == 0.0) continue;
-        g += theta[t] * b[idx[j]] * b[idx[t]] * gram(j, t);
-      }
-      comm.add_replicated_flops(4 * j);
-
-      theta[j] = (eta > 0.0) ? dual_step(beta, g, eta, constants.nu) : 0.0;
-    }
-
-    // --- Deferred batch updates:  α += Σ θ_t e_{i_t},  x += Σ θ_t b_t A_tᵀ.
-    for (std::size_t t = 0; t < s_eff; ++t) {
-      if (theta[t] == 0.0) continue;
-      alpha[idx[t]] += theta[t];
-      batch.add_scaled_to(t, theta[t] * b[idx[t]], x_loc);
-      comm.add_flops(2 * batch.member_nnz(t));
-    }
-
-    iterations_done += s_eff;
-    since_trace += s_eff;
-    if (base.trace_every > 0 && since_trace >= base.trace_every) {
-      record_trace(iterations_done);
-      since_trace = 0;
-      if (base.gap_tolerance > 0.0 &&
-          trace.points.back().objective <= base.gap_tolerance)
-        stop = true;
-    }
-    trace.iterations_run = iterations_done;
-  }
-  // Always capture the terminal state (see sa_lasso.cpp).
-  if (base.trace_every > 0 &&
-      (trace.points.empty() ||
-       trace.points.back().iteration != iterations_done)) {
-    record_trace(iterations_done);
-  }
-
-  result.x.assign(dataset.num_features(), 0.0);
-  std::copy(x_loc.begin(), x_loc.end(),
-            result.x.begin() + cols.begin(comm.rank()));
-  comm.allreduce_sum(result.x);
-
-  trace.final_stats = comm.stats();
-  trace.total_wall_seconds = seconds_since(start);
-  return result;
+  SolveResult r =
+      detail::make_svm_engine(comm, dataset, cols,
+                              detail::to_spec(options.base, options.s))
+          ->run();
+  return SvmResult{std::move(r.x), std::move(r.alpha), std::move(r.trace)};
 }
 
 SvmResult solve_sa_svm_serial(const data::Dataset& dataset,

@@ -1,0 +1,290 @@
+#include "core/solver.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/engine.hpp"
+
+namespace sa::core {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+    case StopReason::kObjectiveTolerance:
+      return "objective-tolerance";
+    case StopReason::kGapTolerance:
+      return "gap-tolerance";
+    case StopReason::kWallClockBudget:
+      return "wall-clock-budget";
+  }
+  return "unknown";
+}
+
+SolverSpec SolverSpec::make(std::string algorithm_id) {
+  SolverSpec spec;
+  spec.algorithm = std::move(algorithm_id);
+  return spec;
+}
+
+SolverSpec& SolverSpec::with_lambda(double v) {
+  lambda = v;
+  return *this;
+}
+SolverSpec& SolverSpec::with_penalty(Penalty p, double l1, double l2) {
+  penalty = p;
+  elastic_net_l1 = l1;
+  elastic_net_l2 = l2;
+  return *this;
+}
+SolverSpec& SolverSpec::with_block_size(std::size_t mu) {
+  block_size = mu;
+  return *this;
+}
+SolverSpec& SolverSpec::with_s(std::size_t depth) {
+  s = depth;
+  return *this;
+}
+SolverSpec& SolverSpec::with_acceleration(bool on) {
+  accelerated = on;
+  return *this;
+}
+SolverSpec& SolverSpec::with_seed(std::uint64_t v) {
+  seed = v;
+  return *this;
+}
+SolverSpec& SolverSpec::with_max_iterations(std::size_t h) {
+  max_iterations = h;
+  return *this;
+}
+SolverSpec& SolverSpec::with_trace_every(std::size_t cadence) {
+  trace_every = cadence;
+  return *this;
+}
+SolverSpec& SolverSpec::with_warm_start(std::vector<double> x) {
+  x0 = std::move(x);
+  return *this;
+}
+SolverSpec& SolverSpec::with_groups(GroupStructure g) {
+  groups = std::move(g);
+  return *this;
+}
+SolverSpec& SolverSpec::with_loss(SvmLoss l) {
+  loss = l;
+  return *this;
+}
+SolverSpec& SolverSpec::with_objective_tolerance(double tol) {
+  objective_tolerance = tol;
+  return *this;
+}
+SolverSpec& SolverSpec::with_gap_tolerance(double tol) {
+  gap_tolerance = tol;
+  return *this;
+}
+SolverSpec& SolverSpec::with_wall_clock_budget(double seconds) {
+  wall_clock_budget = seconds;
+  return *this;
+}
+
+bool SolverSpec::is_sa() const {
+  return std::string_view(algorithm).substr(0, 3) == "sa-";
+}
+
+SolverFamily SolverSpec::family() const {
+  std::string_view id(algorithm);
+  if (is_sa()) id.remove_prefix(3);
+  if (id == "lasso") return SolverFamily::kLasso;
+  if (id == "group-lasso") return SolverFamily::kGroupLasso;
+  if (id == "svm") return SolverFamily::kSvm;
+  return SolverFamily::kUnknown;
+}
+
+void SolverSpec::validate(const data::Dataset& dataset) const {
+  const SolverFamily fam = family();
+  SA_CHECK(fam != SolverFamily::kUnknown,
+           "SolverSpec: unknown algorithm family for id '" + algorithm + "'");
+  SA_CHECK(lambda >= 0.0, "SolverSpec: lambda must be >= 0");
+  SA_CHECK(objective_tolerance >= 0.0,
+           "SolverSpec: objective_tolerance must be >= 0");
+  SA_CHECK(wall_clock_budget >= 0.0,
+           "SolverSpec: wall_clock_budget must be >= 0");
+  if (is_sa()) SA_CHECK(s >= 1, "SolverSpec: s must be >= 1");
+  SA_CHECK(gap_tolerance == 0.0 || fam == SolverFamily::kSvm,
+           "SolverSpec: gap_tolerance applies to the SVM family only");
+  switch (fam) {
+    case SolverFamily::kLasso:
+      SA_CHECK(block_size >= 1 && block_size <= dataset.num_features(),
+               "SolverSpec: block size must be in [1, n]");
+      SA_CHECK(x0.empty() || x0.size() == dataset.num_features(),
+               "SolverSpec: x0 must have length n");
+      break;
+    case SolverFamily::kGroupLasso:
+      SA_CHECK(groups.num_groups() > 0 &&
+                   groups.offsets.back() == dataset.num_features(),
+               "SolverSpec: groups must cover all features");
+      SA_CHECK(x0.empty() || x0.size() == dataset.num_features(),
+               "SolverSpec: x0 must have length n");
+      break;
+    case SolverFamily::kSvm:
+      SA_CHECK(dataset.has_binary_labels(),
+               "SolverSpec: SVM labels must be exactly ±1");
+      SA_CHECK(x0.empty(), "SolverSpec: the SVM family has no warm start");
+      break;
+    case SolverFamily::kUnknown:
+      break;
+  }
+}
+
+SolveResult Solver::run() {
+  while (step(std::numeric_limits<std::size_t>::max()) > 0) {
+  }
+  return finish();
+}
+
+namespace detail {
+
+EngineBase::EngineBase(dist::Communicator& comm, const SolverSpec& spec)
+    : comm_(comm), spec_(spec) {}
+
+std::size_t EngineBase::step(std::size_t iterations) {
+  if (finished()) return 0;
+  if (first_round_) {
+    first_round_ = false;
+    if (spec_.trace_every > 0) {
+      record_trace_point(0);
+      // Seed the objective-tolerance reference; criteria never fire on the
+      // initial point (matching the legacy solvers, which only test at
+      // in-loop trace points).
+      have_prev_objective_ = true;
+      prev_objective_ = trace_.points.back().objective;
+    }
+  }
+  std::size_t advanced = 0;
+  while (!finished() && advanced < iterations) {
+    const std::size_t s_eff = std::min(spec_.unroll_depth(),
+                                       spec_.max_iterations - iterations_done_);
+    do_round(s_eff);
+    iterations_done_ += s_eff;
+    since_trace_ += s_eff;
+    advanced += s_eff;
+    trace_.iterations_run = iterations_done_;
+    if (spec_.trace_every > 0 && since_trace_ >= spec_.trace_every) {
+      record_trace_point(iterations_done_);
+      since_trace_ = 0;
+      check_stops_after_round();
+    }
+    if (!done_ && spec_.wall_clock_budget > 0.0) {
+      // Replicated decision: every rank adopts rank 0's clock, so the
+      // ranks agree on when to stop (their local clocks may not).  The
+      // check is instrumentation, not algorithm: exclude its allreduce
+      // from the metered counters (snapshot / restore, exactly like the
+      // trace-point objective evaluations) so enabling a budget does not
+      // change the communication profile the benches price.
+      const dist::CommStats snapshot = comm_.stats();
+      const double elapsed =
+          comm_.rank() == 0 ? seconds_since(start_) : 0.0;
+      const double elapsed0 = comm_.allreduce_sum_scalar(elapsed);
+      comm_.set_stats(snapshot);
+      if (elapsed0 >= spec_.wall_clock_budget) {
+        done_ = true;
+        reason_ = StopReason::kWallClockBudget;
+      }
+    }
+    if (observer_) observer_(iterations_done_);
+  }
+  return advanced;
+}
+
+void EngineBase::check_stops_after_round() {
+  const double objective = trace_.points.back().objective;
+  if (spec_.gap_tolerance > 0.0 && objective <= spec_.gap_tolerance) {
+    done_ = true;
+    reason_ = StopReason::kGapTolerance;
+  } else if (spec_.objective_tolerance > 0.0 && have_prev_objective_ &&
+             std::abs(prev_objective_ - objective) <=
+                 spec_.objective_tolerance *
+                     std::max(1.0, std::abs(objective))) {
+    done_ = true;
+    reason_ = StopReason::kObjectiveTolerance;
+  }
+  have_prev_objective_ = true;
+  prev_objective_ = objective;
+}
+
+void EngineBase::push_trace_point(std::size_t iteration, double objective,
+                                  const dist::CommStats& snapshot) {
+  TracePoint point;
+  point.iteration = iteration;
+  point.objective = objective;
+  point.stats = snapshot;
+  point.wall_seconds = seconds_since(start_);
+  trace_.points.push_back(point);
+}
+
+SolveResult EngineBase::finish() {
+  SA_CHECK(!result_taken_, "Solver::finish: result already taken");
+  result_taken_ = true;
+  done_ = true;
+  // Always capture the terminal state so final_objective() reflects the
+  // returned iterate even when H is not a multiple of the trace cadence.
+  if (spec_.trace_every > 0 &&
+      (trace_.points.empty() ||
+       trace_.points.back().iteration != iterations_done_)) {
+    record_trace_point(iterations_done_);
+  }
+  SolveResult out;
+  out.algorithm = spec_.algorithm;
+  out.stop_reason = reason_;
+  assemble(out);  // may communicate; counted in the final stats below
+  out.trace = std::move(trace_);
+  out.trace.final_stats = comm_.stats();
+  out.trace.total_wall_seconds = seconds_since(start_);
+  out.stats = out.trace.final_stats;
+  return out;
+}
+
+SolverSpec to_spec(const LassoOptions& options, std::size_t s) {
+  SolverSpec spec = SolverSpec::make(s == 0 ? "lasso" : "sa-lasso");
+  spec.lambda = options.lambda;
+  spec.penalty = options.penalty;
+  spec.elastic_net_l1 = options.elastic_net_l1;
+  spec.elastic_net_l2 = options.elastic_net_l2;
+  spec.block_size = options.block_size;
+  spec.max_iterations = options.max_iterations;
+  spec.accelerated = options.accelerated;
+  spec.seed = options.seed;
+  spec.trace_every = options.trace_every;
+  spec.x0 = options.x0;
+  if (s > 0) spec.s = s;
+  return spec;
+}
+
+SolverSpec to_spec(const GroupLassoOptions& options, std::size_t s) {
+  SolverSpec spec = SolverSpec::make(s == 0 ? "group-lasso"
+                                            : "sa-group-lasso");
+  spec.lambda = options.lambda;
+  spec.groups = options.groups;
+  spec.max_iterations = options.max_iterations;
+  spec.seed = options.seed;
+  spec.trace_every = options.trace_every;
+  if (s > 0) spec.s = s;
+  return spec;
+}
+
+SolverSpec to_spec(const SvmOptions& options, std::size_t s) {
+  SolverSpec spec = SolverSpec::make(s == 0 ? "svm" : "sa-svm");
+  spec.lambda = options.lambda;
+  spec.loss = options.loss;
+  spec.max_iterations = options.max_iterations;
+  spec.seed = options.seed;
+  spec.trace_every = options.trace_every;
+  spec.gap_tolerance = options.gap_tolerance;
+  if (s > 0) spec.s = s;
+  return spec;
+}
+
+}  // namespace detail
+}  // namespace sa::core

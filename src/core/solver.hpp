@@ -1,0 +1,188 @@
+// The unified Problem/Solver API: one spec, one interface, one result
+// type over all six algorithm families of the paper
+// (Lasso/elastic-net, Group Lasso, dual SVM — classical and
+// synchronization-avoiding variants of each).
+//
+//   SolverSpec spec = SolverSpec::make("sa-lasso")
+//                         .with_lambda(0.05)
+//                         .with_block_size(8)
+//                         .with_s(32)
+//                         .with_acceleration(true)
+//                         .with_max_iterations(5000);
+//   SolveResult r = make_solver(comm, dataset, rows, spec)->run();
+//
+// A SolverSpec is a plain value: every knob of every family in one struct
+// with ONE set of defaults (the single source the CLI, the legacy option
+// structs, and the tests all pin against).  Fields that do not apply to
+// the selected algorithm are ignored; validate() rejects contradictory
+// combinations.  make_solver (core/registry.hpp) maps the algorithm id to
+// a factory and returns a Solver.
+//
+// Solver is re-entrant: step(k) advances at least one communication round
+// and keeps going until ≥ k inner iterations have been taken in that call
+// (rounds are never split — an s-step round is the atomic unit, so a
+// stepped solve is bit-identical to run()).  run() drives step() to a
+// stopping criterion and finalizes.  All ranks of a communicator must
+// construct and drive their Solver in lockstep, exactly as with the
+// legacy free functions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/solver_options.hpp"
+#include "core/trace.hpp"
+#include "data/dataset.hpp"
+#include "dist/comm.hpp"
+
+namespace sa::core {
+
+/// Why a solve terminated.
+enum class StopReason {
+  kMaxIterations,       ///< iteration budget H exhausted (the default)
+  kObjectiveTolerance,  ///< successive trace objectives within tolerance
+  kGapTolerance,        ///< SVM duality gap dropped below tolerance
+  kWallClockBudget,     ///< wall-clock budget exceeded (replicated check)
+};
+
+const char* to_string(StopReason reason);
+
+/// The algorithm families behind the registered ids ("lasso" and
+/// "sa-lasso" are the same family at different unrolling depths).
+enum class SolverFamily { kLasso, kGroupLasso, kSvm, kUnknown };
+
+/// One spec for every solver.  Field groups that only apply to one family
+/// are marked; everything else is shared.  Defaults here are THE defaults:
+/// the legacy option structs and the CLI derive theirs from this struct,
+/// pinned by tests/core/test_solver_facade.cpp (sole documented
+/// exception: legacy SvmOptions keeps the paper's λ = 1, H = 10000
+/// conventions — see solver_options.hpp).
+struct SolverSpec {
+  std::string algorithm = "lasso";  ///< registry id, e.g. "sa-group-lasso"
+
+  // -- shared ---------------------------------------------------------
+  double lambda = 0.1;                ///< regularization strength λ
+  std::size_t max_iterations = 1000;  ///< H (inner iterations)
+  std::uint64_t seed = 42;            ///< replicated sampler seed
+  std::size_t trace_every = 0;        ///< objective cadence (0 = off)
+  std::size_t s = 8;                  ///< unrolling depth (sa-* ids only)
+
+  // -- Lasso/elastic-net family --------------------------------------
+  Penalty penalty = Penalty::kLasso;
+  double elastic_net_l1 = 1.0;  ///< l1 weight when penalty == kElasticNet
+  double elastic_net_l2 = 0.0;  ///< l2 weight when penalty == kElasticNet
+  std::size_t block_size = 1;   ///< µ (1 = plain CD)
+  bool accelerated = false;     ///< Nesterov acceleration (accCD/accBCD)
+  std::vector<double> x0;       ///< warm start (empty = zeros); also used
+                                ///< by the Group Lasso family
+
+  // -- Group Lasso family --------------------------------------------
+  GroupStructure groups;  ///< disjoint feature groups (required)
+
+  // -- SVM family -----------------------------------------------------
+  SvmLoss loss = SvmLoss::kL1;
+
+  // -- stopping criteria beyond max_iterations ------------------------
+  // Objective-based criteria are evaluated at trace points only (they
+  // need the replicated objective), so they require trace_every > 0 to
+  // ever fire — matching the legacy SvmOptions::gap_tolerance contract.
+  double objective_tolerance = 0.0;  ///< stop when successive trace
+                                     ///< objectives differ by ≤ tol·max(1,|f|)
+  double gap_tolerance = 0.0;        ///< SVM: stop when gap ≤ tol
+  double wall_clock_budget = 0.0;    ///< seconds; checked once per round
+                                     ///< (rank 0's clock, replicated, and
+                                     ///< excluded from the metering)
+
+  // -- builder-style construction ------------------------------------
+  static SolverSpec make(std::string algorithm_id);
+  SolverSpec& with_lambda(double v);
+  SolverSpec& with_penalty(Penalty p, double l1 = 1.0, double l2 = 0.0);
+  SolverSpec& with_block_size(std::size_t mu);
+  SolverSpec& with_s(std::size_t depth);
+  SolverSpec& with_acceleration(bool on);
+  SolverSpec& with_seed(std::uint64_t v);
+  SolverSpec& with_max_iterations(std::size_t h);
+  SolverSpec& with_trace_every(std::size_t cadence);
+  SolverSpec& with_warm_start(std::vector<double> x);
+  SolverSpec& with_groups(GroupStructure g);
+  SolverSpec& with_loss(SvmLoss l);
+  SolverSpec& with_objective_tolerance(double tol);
+  SolverSpec& with_gap_tolerance(double tol);
+  SolverSpec& with_wall_clock_budget(double seconds);
+
+  /// True for the synchronization-avoiding ids ("sa-" prefix).
+  bool is_sa() const;
+  /// Family of `algorithm` (kUnknown when the id has no known suffix).
+  SolverFamily family() const;
+  /// Effective unrolling depth: s for sa-* ids, 1 for classical ids —
+  /// the ONLY thing that distinguishes the two variants of a family.
+  std::size_t unroll_depth() const { return is_sa() ? s : 1; }
+
+  /// Throws PreconditionError on invalid or contradictory settings for
+  /// the selected algorithm against this dataset.
+  void validate(const data::Dataset& dataset) const;
+};
+
+/// Everything a solve produces, identical on every rank.
+struct SolveResult {
+  std::string algorithm;      ///< spec id that produced this result
+  std::vector<double> x;      ///< solution (Lasso/group: length n;
+                              ///< SVM: assembled primal, length n)
+  std::vector<double> alpha;  ///< SVM dual variables (empty otherwise)
+  Trace trace;                ///< instrumented history (this rank)
+  dist::CommStats stats;      ///< == trace.final_stats, for convenience
+  StopReason stop_reason = StopReason::kMaxIterations;
+
+  double final_objective() const { return trace.final_objective(); }
+};
+
+/// Called after every communication round with the number of inner
+/// iterations completed so far.  Runs on every rank; must not communicate.
+using RoundObserver = std::function<void(std::size_t iterations_done)>;
+
+/// Re-entrant polymorphic solver.  Obtain instances via make_solver
+/// (core/registry.hpp); drive with step()/run(); collect with finish().
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Advances at least one communication round, continuing until this
+  /// call has taken ≥ `iterations` inner iterations or a stopping
+  /// criterion fires.  Returns the inner iterations advanced (0 iff
+  /// finished()).  Rounds are atomic: stepping in any chunking produces
+  /// bit-identical results to one run() call.
+  virtual std::size_t step(std::size_t iterations = 1) = 0;
+
+  /// True once a stopping criterion has fired (or finish() was called).
+  virtual bool finished() const = 0;
+
+  /// Inner iterations completed so far.
+  virtual std::size_t iterations_run() const = 0;
+
+  /// Stopping criterion that ended the solve (meaningful when finished()).
+  virtual StopReason stop_reason() const = 0;
+
+  /// Trace recorded so far (grows at the configured cadence).
+  virtual const Trace& trace() const = 0;
+
+  /// Records the terminal trace point, assembles the solution, and
+  /// returns the result.  Call at most once; the solver is spent after.
+  virtual SolveResult finish() = 0;
+
+  /// step() until a stopping criterion fires, then finish().
+  SolveResult run();
+
+  /// Installs a per-round observer (replaces any previous one).
+  void set_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ protected:
+  RoundObserver observer_;
+};
+
+}  // namespace sa::core

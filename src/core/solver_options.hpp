@@ -1,4 +1,14 @@
-// Option structs shared by the solver families.
+// Option structs of the legacy per-family entry points (solve_lasso & co).
+//
+// New code should prefer the unified SolverSpec (core/solver.hpp) +
+// make_solver (core/registry.hpp); these structs remain for the wrapper
+// functions and convert loss-free via detail::to_spec.  Every default
+// shared with SolverSpec is pinned to it by
+// tests/core/test_solver_facade.cpp, with one documented exception:
+// SvmOptions keeps the paper's Algorithm 3 conventions λ = 1 and
+// H = 10000 (SolverSpec, like LassoOptions, defaults λ = 0.1 and
+// H = 1000) — also pinned by that test so the divergence stays
+// deliberate and visible.
 #pragma once
 
 #include <cstdint>

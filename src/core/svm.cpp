@@ -1,129 +1,22 @@
 #include "core/svm.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-
 #include "common/check.hpp"
-#include "core/objective.hpp"
-#include "data/rng.hpp"
-#include "la/vector_ops.hpp"
+#include "core/engine.hpp"
 
 namespace sa::core {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Projected-Newton dual update (Algorithm 3 lines 9–13): returns the step
-/// θ_h for one coordinate with current value alpha_i, gradient g, curvature
-/// eta, and box [0, ν].
-double dual_step(double alpha_i, double g, double eta, double nu) {
-  const double projected = std::min(std::max(alpha_i - g, 0.0), nu);
-  if (projected == alpha_i) return 0.0;  // PG check: g̃ == 0, skip update
-  return std::min(std::max(alpha_i - g / eta, 0.0), nu) - alpha_i;
-}
-
-}  // namespace
-
+// Classical dual CD (Algorithm 3) is the SVM family engine at unrolling
+// depth 1: one sampled point, one fused two-scalar allreduce
+// [A_i·A_iᵀ | A_i·x], one projected-Newton update per round — identical
+// arithmetic to the historical solver, now on the zero-copy view
+// pipeline.
 SvmResult solve_svm(dist::Communicator& comm, const data::Dataset& dataset,
                     const data::Partition& cols, const SvmOptions& options) {
-  SA_CHECK(dataset.has_binary_labels(),
-           "solve_svm: labels must be exactly ±1");
-  const SvmConstants constants =
-      SvmConstants::make(options.loss, options.lambda);
-
-  const auto start = Clock::now();
-  const std::size_t m = dataset.num_points();
-  ColBlock block(dataset, cols, comm.rank());
-  const std::vector<double>& b = block.labels();
-
-  data::SplitMix64 rng(options.seed);
-
-  SvmResult result;
-  result.alpha.assign(m, 0.0);
-  std::vector<double>& alpha = result.alpha;
-  std::vector<double> x_loc(block.local_cols(), 0.0);  // partitioned primal
-  Trace& trace = result.trace;
-
-  const auto record_trace = [&](std::size_t iteration) {
-    const dist::CommStats snapshot = comm.stats();
-    // Duality gap evaluation (instrumentation only): margins need the full
-    // A·x, assembled from per-rank partial products with one allreduce.
-    std::vector<double> margins(m, 0.0);
-    block.matrix().spmv(x_loc, margins);
-    comm.allreduce_sum(margins);
-    const double x_norm_sq =
-        comm.allreduce_sum_scalar(la::nrm2_squared(x_loc));
-    double hinge_sum = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double slack = std::max(0.0, 1.0 - b[i] * margins[i]);
-      hinge_sum += (options.loss == SvmLoss::kL1) ? slack : slack * slack;
-    }
-    const double primal = 0.5 * x_norm_sq + options.lambda * hinge_sum;
-    const double dual = la::sum(alpha) - 0.5 * x_norm_sq -
-                        0.5 * constants.gamma * la::nrm2_squared(alpha);
-    comm.set_stats(snapshot);
-    TracePoint point;
-    point.iteration = iteration;
-    point.objective = primal - dual;  // duality gap, the paper's Figure 5
-    point.stats = snapshot;
-    point.wall_seconds = seconds_since(start);
-    trace.points.push_back(point);
-  };
-
-  if (options.trace_every > 0) record_trace(0);
-
-  for (std::size_t h = 1; h <= options.max_iterations; ++h) {
-    const auto i = static_cast<std::size_t>(rng.next_below(m));
-    const la::SparseVector row = block.matrix().gather_row(i);
-
-    // The ONE communication of the iteration: [A_i·A_iᵀ | A_i·x].
-    double buffer[2] = {la::nrm2_squared(row), la::dot(row, x_loc)};
-    comm.add_flops(4 * row.nnz());
-    comm.allreduce_sum(std::span<double>(buffer, 2));
-    const double eta = buffer[0] + constants.gamma;
-    const double g =
-        b[i] * buffer[1] - 1.0 + constants.gamma * alpha[i];
-
-    if (eta > 0.0) {
-      const double theta = dual_step(alpha[i], g, eta, constants.nu);
-      if (theta != 0.0) {
-        alpha[i] += theta;
-        la::axpy(theta * b[i], row, x_loc);
-        comm.add_flops(2 * row.nnz());
-      }
-    }
-
-    if (options.trace_every > 0 && h % options.trace_every == 0) {
-      record_trace(h);
-      if (options.gap_tolerance > 0.0 &&
-          trace.points.back().objective <= options.gap_tolerance) {
-        trace.iterations_run = h;
-        break;
-      }
-    }
-    trace.iterations_run = h;
-  }
-  if (options.trace_every > 0 &&
-      (trace.points.empty() ||
-       trace.points.back().iteration != trace.iterations_run)) {
-    record_trace(trace.iterations_run);
-  }
-
-  // Assemble the full primal vector: zero-extend the local slice, one sum.
-  result.x.assign(dataset.num_features(), 0.0);
-  std::copy(x_loc.begin(), x_loc.end(),
-            result.x.begin() + cols.begin(comm.rank()));
-  comm.allreduce_sum(result.x);
-
-  trace.final_stats = comm.stats();
-  trace.total_wall_seconds = seconds_since(start);
-  return result;
+  SolveResult r =
+      detail::make_svm_engine(comm, dataset, cols,
+                              detail::to_spec(options, 0))
+          ->run();
+  return SvmResult{std::move(r.x), std::move(r.alpha), std::move(r.trace)};
 }
 
 SvmResult solve_svm_serial(const data::Dataset& dataset,

@@ -9,6 +9,10 @@
 // communication —  η_h = A_iA_iᵀ + γ  and  A_i·x  — with ONE allreduce,
 // then performs the replicated projected-Newton update and the local
 // primal update  x += θ·b_i·A_iᵀ.
+//
+// These entry points are thin wrappers over the unified Solver facade
+// (algorithm id "svm" in core/registry.hpp); prefer SolverSpec +
+// make_solver in new code.
 #pragma once
 
 #include <vector>

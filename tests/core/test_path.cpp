@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "core/cross_validation.hpp"
 #include "core/objective.hpp"
+#include "core/registry.hpp"
 #include "data/synthetic.hpp"
 #include "la/vector_ops.hpp"
 
@@ -111,9 +112,10 @@ TEST(LassoPath, WarmStartReducesWorkAtNextLambda) {
   opt.solver.max_iterations = 150;
   const auto warm = lasso_path(d, opt);
   for (std::size_t i = 1; i < warm.size(); ++i) {
-    LassoOptions cold = opt.solver;
+    SolverSpec cold = opt.solver;
+    cold.algorithm = "lasso";
     cold.lambda = warm[i].lambda;
-    const LassoResult cold_fit = solve_lasso_serial(d, cold);
+    const SolveResult cold_fit = solve(d, cold);
     const double cold_obj =
         lasso_objective(d.a, d.b, cold_fit.x, warm[i].lambda);
     EXPECT_LE(warm[i].objective, cold_obj * 1.05) << "lambda " << i;

@@ -1,0 +1,514 @@
+// The unified Solver facade: registry coverage, bitwise parity with the
+// legacy free functions, the SolverSpec single-source-of-defaults pin,
+// re-entrant step()/run() semantics, observers, and stopping criteria.
+#include "core/registry.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/cd_lasso.hpp"
+#include "core/cross_validation.hpp"
+#include "core/group_lasso.hpp"
+#include "core/objective.hpp"
+#include "core/path.hpp"
+#include "core/sa_group_lasso.hpp"
+#include "core/sa_lasso.hpp"
+#include "core/sa_svm.hpp"
+#include "core/svm.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "la/vector_ops.hpp"
+
+namespace sa::core {
+namespace {
+
+data::Dataset regression_problem(std::uint64_t seed = 42) {
+  data::RegressionConfig cfg;
+  cfg.num_points = 70;
+  cfg.num_features = 30;
+  cfg.density = 0.4;
+  cfg.support_size = 5;
+  cfg.noise_sigma = 0.02;
+  cfg.seed = seed;
+  return data::make_regression(cfg).dataset;
+}
+
+data::Dataset classification_problem(std::uint64_t seed = 42) {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 60;
+  cfg.num_features = 40;
+  cfg.density = 0.4;
+  cfg.seed = seed;
+  return data::make_classification(cfg);
+}
+
+/// Bitwise trace equality: same iteration numbers, same objective bits.
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].iteration, b.points[i].iteration) << "point " << i;
+    EXPECT_EQ(a.points[i].objective, b.points[i].objective) << "point " << i;
+  }
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(SolverRegistry, ListsAllSixAlgorithms) {
+  const std::vector<std::string> ids = registered_algorithms();
+  for (const char* id : {"lasso", "sa-lasso", "group-lasso",
+                         "sa-group-lasso", "svm", "sa-svm"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end())
+        << "missing " << id;
+  }
+}
+
+TEST(SolverRegistry, UnknownIdErrorNamesTheAvailableSet) {
+  const data::Dataset d = regression_problem();
+  dist::SerialComm comm;
+  try {
+    make_solver(comm, d, data::Partition::block(d.num_points(), 1),
+                SolverSpec::make("no-such-solver"));
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-solver"), std::string::npos);
+    EXPECT_NE(what.find("sa-group-lasso"), std::string::npos);
+    EXPECT_NE(what.find("sa-svm"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, SpecValidationRejectsContradictions) {
+  const data::Dataset d = regression_problem();
+  dist::SerialComm comm;
+  const data::Partition rows = data::Partition::block(d.num_points(), 1);
+  SolverSpec bad = SolverSpec::make("lasso").with_block_size(0);
+  EXPECT_THROW(make_solver(comm, d, rows, bad), PreconditionError);
+  bad = SolverSpec::make("sa-lasso").with_s(0);
+  EXPECT_THROW(make_solver(comm, d, rows, bad), PreconditionError);
+  bad = SolverSpec::make("group-lasso");  // no groups
+  EXPECT_THROW(make_solver(comm, d, rows, bad), PreconditionError);
+  bad = SolverSpec::make("lasso").with_gap_tolerance(1e-3);  // SVM-only
+  EXPECT_THROW(make_solver(comm, d, rows, bad), PreconditionError);
+  bad = SolverSpec::make("svm");  // non-binary labels
+  EXPECT_THROW(make_solver(comm, d, rows, bad), PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// Single source of defaults
+// ---------------------------------------------------------------------
+
+TEST(SolverSpecDefaults, PinTheLegacyOptionStructDefaults) {
+  // SolverSpec is THE source of defaults; the legacy option structs (and
+  // the CLI's Args) must agree with it.  This pins the historical
+  // divergence where sa_opt_cli defaulted accelerated = true while
+  // LassoOptions defaulted false.
+  const SolverSpec spec;
+  const LassoOptions lasso;
+  EXPECT_EQ(spec.lambda, lasso.lambda);
+  EXPECT_EQ(spec.penalty, lasso.penalty);
+  EXPECT_EQ(spec.elastic_net_l1, lasso.elastic_net_l1);
+  EXPECT_EQ(spec.elastic_net_l2, lasso.elastic_net_l2);
+  EXPECT_EQ(spec.block_size, lasso.block_size);
+  EXPECT_EQ(spec.max_iterations, lasso.max_iterations);
+  EXPECT_EQ(spec.accelerated, lasso.accelerated);
+  EXPECT_FALSE(spec.accelerated);  // the unified default, explicitly
+  EXPECT_EQ(spec.seed, lasso.seed);
+  EXPECT_EQ(spec.trace_every, lasso.trace_every);
+
+  const SaLassoOptions sa_lasso;
+  EXPECT_EQ(spec.s, sa_lasso.s);
+
+  const SvmOptions svm;
+  EXPECT_EQ(spec.loss, svm.loss);
+  EXPECT_EQ(spec.seed, svm.seed);
+  EXPECT_EQ(spec.gap_tolerance, svm.gap_tolerance);
+  // Documented exception (solver_options.hpp): the legacy SVM struct
+  // keeps the paper's Algorithm 3 conventions λ = 1, H = 10000 instead
+  // of the spec's shared 0.1 / 1000.  Pin the divergence so it can only
+  // change deliberately.
+  EXPECT_EQ(svm.lambda, 1.0);
+  EXPECT_EQ(svm.max_iterations, 10000u);
+
+  const GroupLassoOptions group;
+  EXPECT_EQ(spec.lambda, group.lambda);
+  EXPECT_EQ(spec.seed, group.seed);
+}
+
+// ---------------------------------------------------------------------
+// Facade ↔ legacy free-function parity (bitwise)
+// ---------------------------------------------------------------------
+
+struct ParityHarness {
+  SolverSpec spec;
+  /// Runs the legacy free function for `spec` and returns (x, alpha,
+  /// trace) as a SolveResult-shaped triple.
+  std::function<SolveResult(dist::Communicator&, const data::Dataset&,
+                            const data::Partition&)>
+      legacy;
+  const data::Dataset dataset;
+  PartitionAxis axis;
+};
+
+ParityHarness harness_for(const std::string& id) {
+  if (id == "lasso" || id == "sa-lasso") {
+    SolverSpec spec = SolverSpec::make(id)
+                          .with_lambda(0.05)
+                          .with_block_size(3)
+                          .with_acceleration(true)
+                          .with_max_iterations(48)
+                          .with_trace_every(8)
+                          .with_s(6);
+    auto legacy = [id](dist::Communicator& comm, const data::Dataset& d,
+                       const data::Partition& p) {
+      LassoOptions base;
+      base.lambda = 0.05;
+      base.block_size = 3;
+      base.accelerated = true;
+      base.max_iterations = 48;
+      base.trace_every = 8;
+      LassoResult r;
+      if (id == "lasso") {
+        r = solve_lasso(comm, d, p, base);
+      } else {
+        SaLassoOptions sa;
+        sa.base = base;
+        sa.s = 6;
+        r = solve_sa_lasso(comm, d, p, sa);
+      }
+      SolveResult out;
+      out.x = std::move(r.x);
+      out.trace = std::move(r.trace);
+      return out;
+    };
+    return {spec, legacy, regression_problem(), PartitionAxis::kRows};
+  }
+  if (id == "group-lasso" || id == "sa-group-lasso") {
+    const data::Dataset d = regression_problem(7);
+    const GroupStructure groups = GroupStructure::uniform(d.num_features(), 5);
+    SolverSpec spec = SolverSpec::make(id)
+                          .with_lambda(0.1)
+                          .with_groups(groups)
+                          .with_max_iterations(40)
+                          .with_trace_every(10)
+                          .with_s(4);
+    auto legacy = [id, groups](dist::Communicator& comm,
+                               const data::Dataset& dd,
+                               const data::Partition& p) {
+      GroupLassoOptions base;
+      base.lambda = 0.1;
+      base.groups = groups;
+      base.max_iterations = 40;
+      base.trace_every = 10;
+      LassoResult r;
+      if (id == "group-lasso") {
+        r = solve_group_lasso(comm, dd, p, base);
+      } else {
+        SaGroupLassoOptions sa;
+        sa.base = base;
+        sa.s = 4;
+        r = solve_sa_group_lasso(comm, dd, p, sa);
+      }
+      SolveResult out;
+      out.x = std::move(r.x);
+      out.trace = std::move(r.trace);
+      return out;
+    };
+    return {spec, legacy, d, PartitionAxis::kRows};
+  }
+  // svm / sa-svm
+  SolverSpec spec = SolverSpec::make(id)
+                        .with_lambda(1.0)
+                        .with_loss(SvmLoss::kL2)
+                        .with_max_iterations(60)
+                        .with_trace_every(20)
+                        .with_s(5);
+  auto legacy = [id](dist::Communicator& comm, const data::Dataset& d,
+                     const data::Partition& p) {
+    SvmOptions base;
+    base.lambda = 1.0;
+    base.loss = SvmLoss::kL2;
+    base.max_iterations = 60;
+    base.trace_every = 20;
+    SvmResult r;
+    if (id == "svm") {
+      r = solve_svm(comm, d, p, base);
+    } else {
+      SaSvmOptions sa;
+      sa.base = base;
+      sa.s = 5;
+      r = solve_sa_svm(comm, d, p, sa);
+    }
+    SolveResult out;
+    out.x = std::move(r.x);
+    out.alpha = std::move(r.alpha);
+    out.trace = std::move(r.trace);
+    return out;
+  };
+  return {spec, legacy, classification_problem(), PartitionAxis::kCols};
+}
+
+class FacadeParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FacadeParity, SerialRunIsBitwiseIdenticalToLegacy) {
+  const ParityHarness h = harness_for(GetParam());
+  dist::SerialComm comm_facade, comm_legacy;
+  const std::size_t extent = h.axis == PartitionAxis::kRows
+                                 ? h.dataset.num_points()
+                                 : h.dataset.num_features();
+  const data::Partition part = data::Partition::block(extent, 1);
+
+  const SolveResult facade =
+      make_solver(comm_facade, h.dataset, part, h.spec)->run();
+  const SolveResult legacy = h.legacy(comm_legacy, h.dataset, part);
+
+  EXPECT_EQ(facade.x, legacy.x);          // bitwise
+  EXPECT_EQ(facade.alpha, legacy.alpha);  // bitwise (empty for Lasso ids)
+  expect_traces_identical(facade.trace, legacy.trace);
+  EXPECT_EQ(facade.algorithm, GetParam());
+  EXPECT_EQ(facade.stop_reason, StopReason::kMaxIterations);
+}
+
+TEST_P(FacadeParity, FourRankRunIsBitwiseIdenticalToLegacy) {
+  const ParityHarness h = harness_for(GetParam());
+  const int p = 4;
+  const std::size_t extent = h.axis == PartitionAxis::kRows
+                                 ? h.dataset.num_points()
+                                 : h.dataset.num_features();
+  const data::Partition part = data::Partition::block(extent, p);
+
+  std::vector<SolveResult> facade(p), legacy(p);
+  std::mutex lock;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    SolveResult r = make_solver(comm, h.dataset, part, h.spec)->run();
+    std::scoped_lock guard(lock);
+    facade[comm.rank()] = std::move(r);
+  });
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    SolveResult r = h.legacy(comm, h.dataset, part);
+    std::scoped_lock guard(lock);
+    legacy[comm.rank()] = std::move(r);
+  });
+
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(facade[r].x, legacy[r].x) << "rank " << r;
+    EXPECT_EQ(facade[r].alpha, legacy[r].alpha) << "rank " << r;
+    expect_traces_identical(facade[r].trace, legacy[r].trace);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, FacadeParity,
+    ::testing::Values("lasso", "sa-lasso", "group-lasso", "sa-group-lasso",
+                      "svm", "sa-svm"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Warm-started path / cross-validation parity
+// ---------------------------------------------------------------------
+
+TEST(FacadePath, WarmStartedPathMatchesLegacyLoopBitwise) {
+  const data::Dataset d = regression_problem(11);
+  PathOptions opt;
+  opt.solver.block_size = 2;
+  opt.solver.accelerated = true;
+  opt.solver.max_iterations = 120;
+  opt.num_lambdas = 6;
+  opt.lambda_min_ratio = 1e-2;
+  opt.s = 4;  // SA solver along the path
+
+  const auto path = lasso_path(d, opt);
+  ASSERT_EQ(path.size(), 6u);
+
+  // The legacy equivalent: explicit warm-started loop over the same grid.
+  const auto grid = default_lambda_grid(d, 6, 1e-2);
+  std::vector<double> warm;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SaLassoOptions sa;
+    sa.base.lambda = grid[i];
+    sa.base.block_size = 2;
+    sa.base.accelerated = true;
+    sa.base.max_iterations = 120;
+    sa.base.x0 = warm;
+    sa.s = 4;
+    const LassoResult r = solve_sa_lasso_serial(d, sa);
+    EXPECT_EQ(path[i].x, r.x) << "lambda index " << i;  // bitwise
+    warm = r.x;
+  }
+}
+
+TEST(FacadeCv, CrossValidationMatchesLegacyComputation) {
+  const data::Dataset d = regression_problem(13);
+  CvOptions cv;
+  cv.path.solver.block_size = 2;
+  cv.path.solver.max_iterations = 80;
+  cv.path.num_lambdas = 4;
+  cv.path.lambda_min_ratio = 1e-2;
+  cv.num_folds = 3;
+  const CvResult facade = cross_validate_lasso(d, cv);
+  ASSERT_EQ(facade.points.size(), 4u);
+
+  // Recompute fold MSEs with the legacy warm-started loop (same solves,
+  // same averaging arithmetic — bitwise agreement).
+  const auto grid = default_lambda_grid(d, 4, 1e-2);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<double> fold_mse(cv.num_folds, 0.0);
+    for (std::size_t fold = 0; fold < cv.num_folds; ++fold) {
+      const auto [train, test] =
+          split_fold(d, fold, cv.num_folds, cv.shuffle_seed);
+      std::vector<double> warm;
+      for (std::size_t k = 0; k <= i; ++k) {
+        LassoOptions o;
+        o.lambda = grid[k];
+        o.block_size = 2;
+        o.max_iterations = 80;
+        o.x0 = warm;
+        warm = solve_lasso_serial(train, o).x;
+      }
+      fold_mse[fold] = mean_squared_error(test, warm);
+    }
+    EXPECT_EQ(facade.points[i].mean_mse,
+              la::sum(fold_mse) / static_cast<double>(cv.num_folds))
+        << "lambda index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Re-entrant step()/run() and observers
+// ---------------------------------------------------------------------
+
+TEST(SolverStepping, ChunkedSteppingIsBitwiseIdenticalToRun) {
+  const data::Dataset d = regression_problem();
+  const SolverSpec spec = SolverSpec::make("sa-lasso")
+                              .with_lambda(0.05)
+                              .with_block_size(2)
+                              .with_acceleration(true)
+                              .with_max_iterations(48)
+                              .with_trace_every(8)
+                              .with_s(6);
+  dist::SerialComm c1, c2, c3;
+  const data::Partition rows = data::Partition::block(d.num_points(), 1);
+
+  const SolveResult ran = make_solver(c1, d, rows, spec)->run();
+
+  // step(1) at a time: each call still advances a whole s-step round.
+  auto stepped = make_solver(c2, d, rows, spec);
+  std::size_t total = 0;
+  while (!stepped->finished()) total += stepped->step(1);
+  EXPECT_EQ(total, 48u);
+  const SolveResult fine = stepped->finish();
+
+  // Uneven chunks.
+  auto chunked = make_solver(c3, d, rows, spec);
+  chunked->step(13);
+  chunked->step(1);
+  while (!chunked->finished()) chunked->step(20);
+  const SolveResult coarse = chunked->finish();
+
+  EXPECT_EQ(ran.x, fine.x);
+  EXPECT_EQ(ran.x, coarse.x);
+  expect_traces_identical(ran.trace, fine.trace);
+  expect_traces_identical(ran.trace, coarse.trace);
+}
+
+TEST(SolverStepping, ObserverSeesEveryRound) {
+  const data::Dataset d = regression_problem();
+  const SolverSpec spec = SolverSpec::make("sa-lasso")
+                              .with_lambda(0.05)
+                              .with_max_iterations(40)
+                              .with_s(8);
+  dist::SerialComm comm;
+  auto solver = make_solver(
+      comm, d, data::Partition::block(d.num_points(), 1), spec);
+  std::vector<std::size_t> seen;
+  solver->set_observer([&](std::size_t done) { seen.push_back(done); });
+  solver->run();
+  const std::vector<std::size_t> expected{8, 16, 24, 32, 40};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(SolverStepping, FinishWithoutSteppingReturnsTheInitialIterate) {
+  const data::Dataset d = regression_problem();
+  const SolverSpec spec = SolverSpec::make("lasso")
+                              .with_lambda(0.05)
+                              .with_max_iterations(0)
+                              .with_trace_every(1);
+  dist::SerialComm comm;
+  const SolveResult r =
+      make_solver(comm, d, data::Partition::block(d.num_points(), 1), spec)
+          ->run();
+  EXPECT_EQ(r.trace.iterations_run, 0u);
+  ASSERT_EQ(r.trace.points.size(), 1u);
+  for (double v : r.x) EXPECT_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Stopping criteria
+// ---------------------------------------------------------------------
+
+TEST(StoppingCriteria, GapToleranceReportsItsReason) {
+  const data::Dataset d = classification_problem();
+  const SolverSpec spec = SolverSpec::make("sa-svm")
+                              .with_lambda(1.0)
+                              .with_loss(SvmLoss::kL2)
+                              .with_max_iterations(100000)
+                              .with_trace_every(100)
+                              .with_gap_tolerance(1e-3)
+                              .with_s(10);
+  const SolveResult r = solve(d, spec);
+  EXPECT_EQ(r.stop_reason, StopReason::kGapTolerance);
+  EXPECT_LT(r.trace.iterations_run, 100000u);
+  EXPECT_LE(r.final_objective(), 1e-3);
+}
+
+TEST(StoppingCriteria, ObjectiveToleranceStopsAPlateauedSolve) {
+  const data::Dataset d = regression_problem();
+  const SolverSpec spec = SolverSpec::make("lasso")
+                              .with_lambda(0.05)
+                              .with_block_size(4)
+                              .with_max_iterations(100000)
+                              .with_trace_every(50)
+                              .with_objective_tolerance(1e-12);
+  const SolveResult r = solve(d, spec);
+  EXPECT_EQ(r.stop_reason, StopReason::kObjectiveTolerance);
+  EXPECT_LT(r.trace.iterations_run, 100000u);
+}
+
+TEST(StoppingCriteria, WallClockBudgetStopsEveryRankConsistently) {
+  const data::Dataset d = regression_problem();
+  SolverSpec spec = SolverSpec::make("sa-lasso")
+                        .with_lambda(0.05)
+                        .with_max_iterations(100000000)  // effectively ∞
+                        .with_s(8)
+                        .with_wall_clock_budget(0.05);
+  const data::Partition rows = data::Partition::block(d.num_points(), 3);
+  std::vector<SolveResult> per_rank(3);
+  std::mutex lock;
+  dist::run_distributed(3, [&](dist::Communicator& comm) {
+    SolveResult r = make_solver(comm, d, rows, spec)->run();
+    std::scoped_lock guard(lock);
+    per_rank[comm.rank()] = std::move(r);
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(per_rank[r].stop_reason, StopReason::kWallClockBudget);
+    // The decision is replicated (rank 0's clock), so every rank stops at
+    // the same iteration with the same iterate.
+    EXPECT_EQ(per_rank[r].trace.iterations_run,
+              per_rank[0].trace.iterations_run);
+    EXPECT_EQ(per_rank[r].x, per_rank[0].x);
+  }
+}
+
+}  // namespace
+}  // namespace sa::core

@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cd_lasso.hpp"
+#include "core/group_lasso.hpp"
 #include "core/sa_group_lasso.hpp"
 #include "core/sa_lasso.hpp"
 #include "core/sa_svm.hpp"
+#include "core/svm.hpp"
 #include "data/synthetic.hpp"
 
 namespace {
@@ -117,6 +120,68 @@ TEST(SteadyState, SaGroupLassoAllocatesOnlyInTheFirstOuterIteration) {
   run(4);
   const std::size_t one_iteration = run(4);
   const std::size_t many_iterations = run(84);
+  EXPECT_EQ(many_iterations, one_iteration);
+}
+
+// The classical solvers are the same engines at unrolling depth 1 since
+// the view-pipeline port, so they inherit the zero-steady-state-allocation
+// property: extra iterations past the first must not touch the heap.
+
+TEST(SteadyState, ClassicalLassoAllocatesOnlyInTheFirstIteration) {
+  const data::Dataset d = regression_problem();
+  const auto run = [&](std::size_t iterations, bool accelerated) {
+    LassoOptions opt;
+    opt.lambda = 0.05;
+    opt.block_size = 2;
+    opt.accelerated = accelerated;
+    opt.max_iterations = iterations;
+    opt.trace_every = 0;
+    return allocations_during([&] { solve_lasso_serial(d, opt); });
+  };
+  for (const bool accelerated : {false, true}) {
+    run(1, accelerated);  // warm thread-local kernel scratch
+    const std::size_t one_iteration = run(1, accelerated);
+    const std::size_t many_iterations = run(41, accelerated);
+    EXPECT_EQ(many_iterations, one_iteration)
+        << (accelerated ? "accelerated" : "plain")
+        << ": 40 extra iterations must not allocate";
+  }
+}
+
+TEST(SteadyState, ClassicalGroupLassoAllocatesOnlyInTheFirstIteration) {
+  const data::Dataset d = regression_problem();
+  const auto run = [&](std::size_t iterations) {
+    GroupLassoOptions opt;
+    opt.lambda = 0.1;
+    opt.groups = GroupStructure::uniform(d.num_features(), 4);
+    opt.max_iterations = iterations;
+    opt.trace_every = 0;
+    return allocations_during([&] { solve_group_lasso_serial(d, opt); });
+  };
+  run(1);
+  const std::size_t one_iteration = run(1);
+  const std::size_t many_iterations = run(41);
+  EXPECT_EQ(many_iterations, one_iteration);
+}
+
+TEST(SteadyState, ClassicalSvmAllocatesOnlyInTheFirstIteration) {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 60;
+  cfg.num_features = 48;
+  cfg.density = 0.3;
+  cfg.seed = 23;
+  const data::Dataset d = data::make_classification(cfg);
+  const auto run = [&](std::size_t iterations) {
+    SvmOptions opt;
+    opt.lambda = 1.0;
+    opt.loss = SvmLoss::kL2;
+    opt.max_iterations = iterations;
+    opt.trace_every = 0;
+    return allocations_during([&] { solve_svm_serial(d, opt); });
+  };
+  run(1);
+  const std::size_t one_iteration = run(1);
+  const std::size_t many_iterations = run(41);
   EXPECT_EQ(many_iterations, one_iteration);
 }
 
