@@ -1,0 +1,304 @@
+// The paper's figures from ONE registry-driven driver.
+//
+//   bench_figures [convergence|runtime|scaling|all] [--smoke]
+//
+// Every series is produced through the Solver facade by iterating
+// core::registered_algorithms() — no per-figure solver plumbing:
+//
+//   convergence  objective / duality-gap vs iteration for every registered
+//                id (paper Figures 2 and 5), plus the SA-vs-classical
+//                agreement check per family;
+//   runtime      metered 2-rank runs rescaled to the paper's processor
+//                counts and priced on the Cray XC30-like machine (paper
+//                Figure 3), with the SA speedup over the classical id;
+//   scaling      Table I cost-model strong scaling and speedup-vs-s
+//                breakdown (paper Figure 4).
+//
+// --smoke shrinks the workloads to seconds (synthetic twins, small H) —
+// the mode CI runs.  The full mode runs ONE representative twin per
+// partition axis (news20-like for the regression families, w1a-like for
+// SVM) at one target P; for the full dataset × P sweeps of the paper's
+// figure panels, edit Config / dataset_for — every series goes through
+// the same registry loop.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/registry.hpp"
+#include "data/synthetic.hpp"
+#include "perf/scaling.hpp"
+
+namespace {
+
+using sa::core::SolveResult;
+using sa::core::SolverSpec;
+
+struct Config {
+  bool smoke = false;
+  std::size_t h = 400;            // inner iterations
+  std::size_t trace_every = 100;  // objective cadence
+  std::size_t s = 32;             // unrolling depth for sa-* ids
+  int target_p = 768;             // paper-scale processor count (runtime)
+};
+
+bool is_svm_id(const std::string& id) {
+  return id == "svm" || id == "sa-svm";
+}
+bool is_group_id(const std::string& id) {
+  return id == "group-lasso" || id == "sa-group-lasso";
+}
+
+/// The dataset each algorithm family runs on: a news20-like sparse twin
+/// for the regression families, a w1a-like twin for the SVM family
+/// (synthetic stand-ins in smoke mode).
+const sa::data::Dataset& dataset_for(const std::string& id,
+                                     const Config& cfg) {
+  static sa::data::Dataset regression, classification;
+  if (regression.num_points() == 0) {
+    if (cfg.smoke) {
+      sa::data::RegressionConfig rc;
+      rc.num_points = 120;
+      rc.num_features = 60;
+      rc.density = 0.3;
+      rc.support_size = 8;
+      rc.seed = 7;
+      regression = sa::data::make_regression(rc).dataset;
+      sa::data::ClassificationConfig cc;
+      cc.num_points = 100;
+      cc.num_features = 80;
+      cc.density = 0.3;
+      cc.seed = 7;
+      classification = sa::data::make_classification(cc);
+    } else {
+      regression =
+          sa::data::make_paper_twin(sa::data::PaperDataset::kNews20, 60.0);
+      classification = sa::data::make_paper_twin(
+          sa::data::PaperDataset::kW1a, 4.0, 42,
+          /*force_classification=*/true);
+    }
+  }
+  return is_svm_id(id) ? classification : regression;
+}
+
+/// One spec per registered id, the same knobs across the classical/SA
+/// variants of a family so their series are comparable.
+SolverSpec spec_for(const std::string& id, const Config& cfg) {
+  SolverSpec spec = SolverSpec::make(id)
+                        .with_max_iterations(cfg.h)
+                        .with_trace_every(cfg.trace_every)
+                        .with_seed(7)
+                        .with_s(cfg.s);
+  if (is_svm_id(id)) {
+    spec.with_lambda(1.0).with_loss(sa::core::SvmLoss::kL2);
+  } else if (is_group_id(id)) {
+    spec.with_lambda(0.05).with_groups(sa::core::GroupStructure::uniform(
+        dataset_for(id, cfg).num_features(), 5));
+  } else {
+    spec.with_lambda(0.05).with_block_size(8).with_acceleration(true);
+  }
+  return spec;
+}
+
+/// The classical counterpart of an sa-* id ("" when `id` is classical).
+std::string classical_of(const std::string& id) {
+  return id.rfind("sa-", 0) == 0 ? id.substr(3) : std::string();
+}
+
+// ---------------------------------------------------------------------
+// convergence — Figures 2 and 5
+// ---------------------------------------------------------------------
+
+void run_convergence(const Config& cfg) {
+  sa::bench::print_header(
+      "Figures 2 & 5 — convergence vs iterations, every registered id",
+      "Objective (Lasso families) / duality gap (SVM family) per trace "
+      "point via the Solver facade.\nExpected shape: SA series coincide "
+      "with their classical counterparts.");
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<std::pair<std::size_t, double>>> series;
+  for (const std::string& id : sa::core::registered_algorithms()) {
+    const SolveResult r = sa::core::solve(dataset_for(id, cfg),
+                                          spec_for(id, cfg));
+    labels.push_back(id);
+    series.emplace_back();
+    for (const auto& p : r.trace.points)
+      series.back().emplace_back(p.iteration, p.objective);
+  }
+
+  std::printf("%12s", "iteration");
+  for (const std::string& l : labels) std::printf("  %16s", l.c_str());
+  std::printf("\n");
+  for (std::size_t it = 0; it <= cfg.h; it += cfg.trace_every) {
+    std::printf("%12zu", it);
+    for (const auto& s : series) {
+      bool found = false;
+      double value = 0.0;
+      for (const auto& [i, v] : s)
+        if (i == it) {
+          found = true;
+          value = v;
+        }
+      if (found)
+        std::printf("  %16.6g", value);
+      else
+        std::printf("  %16s", "-");
+    }
+    std::printf("\n");
+  }
+
+  // SA-vs-classical agreement at common iterations, per family.
+  std::printf("\nmax |f_SA - f_classical| / max(1, |f_classical|):\n");
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    const std::string ref_id = classical_of(labels[k]);
+    if (ref_id.empty()) continue;
+    std::size_t ref = labels.size();
+    for (std::size_t j = 0; j < labels.size(); ++j)
+      if (labels[j] == ref_id) ref = j;
+    if (ref == labels.size()) continue;
+    double worst = 0.0;
+    for (const auto& [it, got] : series[k])
+      for (const auto& [rit, want] : series[ref])
+        if (rit == it)
+          worst = std::max(worst, std::abs(want - got) /
+                                      std::max(1.0, std::abs(want)));
+    std::printf("  %-16s vs %-14s : %.3e\n", labels[k].c_str(),
+                ref_id.c_str(), worst);
+  }
+}
+
+// ---------------------------------------------------------------------
+// runtime — Figure 3
+// ---------------------------------------------------------------------
+
+void run_runtime(const Config& cfg) {
+  sa::bench::print_header(
+      "Figure 3 — modelled running time at paper scale, every registered "
+      "id",
+      "Metered 2-rank facade runs, counters rescaled to the target P and "
+      "priced on the Cray XC30-like machine.\nExpected shape: sa-* ids "
+      "faster than their classical counterparts.");
+
+  constexpr int kMeasuredRanks = 2;
+  struct Row {
+    std::string id;
+    double seconds = 0.0;
+    double objective = 0.0;
+    std::size_t collectives = 0;
+  };
+  std::vector<Row> rows;
+  for (const std::string& id : sa::core::registered_algorithms()) {
+    const SolveResult r = sa::core::solve_on_ranks(
+        dataset_for(id, cfg), spec_for(id, cfg), kMeasuredRanks);
+    rows.push_back({id,
+                    sa::bench::modelled_seconds(r.trace.final_stats,
+                                                kMeasuredRanks, cfg.target_p),
+                    r.final_objective(), r.stats.collectives});
+  }
+  std::printf("%-16s %14s %14s %14s %12s\n", "algorithm", "modelled time",
+              "final obj", "collectives", "speedup");
+  for (const Row& row : rows) {
+    double speedup = 1.0;
+    const std::string ref_id = classical_of(row.id);
+    for (const Row& ref : rows)
+      if (ref.id == ref_id) speedup = ref.seconds / row.seconds;
+    std::printf("%-16s %12.4fs %14.6g %14zu %11.2fx\n", row.id.c_str(),
+                row.seconds, row.objective, row.collectives, speedup);
+  }
+}
+
+// ---------------------------------------------------------------------
+// scaling — Figure 4
+// ---------------------------------------------------------------------
+
+void run_scaling(const Config& cfg) {
+  sa::bench::print_header(
+      "Figure 4 — cost-model strong scaling and speedup breakdown",
+      "Table I formulas priced on the Cray XC30-like machine; the SVM "
+      "sweep uses the matching Algorithm 3/4 costs.\nExpected shape: SA "
+      "faster everywhere, gap widens with P; speedup vs s rises then "
+      "falls.");
+
+  const sa::dist::MachineParams machine =
+      sa::dist::MachineParams::cray_xc30();
+  const std::vector<std::size_t> s_candidates{1, 2,  4,  8,  16,
+                                              32, 64, 128, 256};
+
+  sa::perf::BcdParams bcd;
+  bcd.iterations = cfg.smoke ? 200 : 1000;
+  bcd.block_size = 1;
+  const auto shape = sa::data::paper_shape(sa::data::PaperDataset::kNews20);
+  bcd.density = shape.nnz_percent / 100.0;
+  bcd.rows = shape.points;
+  bcd.cols = shape.features;
+  bcd.processors = 192;
+
+  std::printf("\n--- %s strong scaling (accCD vs CA-accCD) ---\n",
+              shape.name.c_str());
+  std::printf("%10s %14s %14s %10s %8s\n", "P", "accCD [s]", "CA-accCD [s]",
+              "speedup", "best s");
+  for (const sa::perf::ScalingPoint& pt : sa::perf::bcd_strong_scaling(
+           bcd, {192, 384, 768}, s_candidates, machine)) {
+    std::printf("%10d %14.4f %14.4f %9.2fx %8zu\n", pt.processors,
+                pt.seconds_non_sa, pt.seconds_sa,
+                pt.seconds_non_sa / pt.seconds_sa, pt.best_s);
+  }
+
+  bcd.processors = 768;
+  std::printf("\n--- speedup breakdown @ P=%d ---\n", bcd.processors);
+  std::printf("%8s %10s %16s %14s\n", "s", "total", "communication",
+              "computation");
+  for (const sa::perf::SpeedupBreakdown& b :
+       sa::perf::bcd_speedup_sweep(bcd, {2, 4, 8, 16, 32, 64}, machine)) {
+    std::printf("%8zu %9.2fx %15.2fx %13.2fx\n", b.s, b.total,
+                b.communication, b.computation);
+  }
+
+  sa::perf::SvmParams svm;
+  svm.iterations = cfg.smoke ? 1000 : 10000;
+  const auto svm_shape = sa::data::paper_shape(sa::data::PaperDataset::kW1a);
+  svm.density = svm_shape.nnz_percent / 100.0;
+  svm.rows = svm_shape.points;
+  svm.cols = svm_shape.features;
+  svm.processors = 256;
+  std::printf("\n--- %s SVM speedup vs s @ P=%d ---\n",
+              svm_shape.name.c_str(), svm.processors);
+  std::printf("%8s %10s %16s %14s\n", "s", "total", "communication",
+              "computation");
+  for (const sa::perf::SpeedupBreakdown& b : sa::perf::svm_speedup_sweep(
+           svm, {2, 4, 8, 16, 32, 64, 128}, machine)) {
+    std::printf("%8zu %9.2fx %15.2fx %13.2fx\n", b.s, b.total,
+                b.communication, b.computation);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string figure = "all";
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.h = 120;
+      cfg.trace_every = 40;
+      cfg.s = 8;
+    } else {
+      figure = argv[i];
+    }
+  }
+  if (figure != "convergence" && figure != "runtime" && figure != "scaling" &&
+      figure != "all") {
+    std::fprintf(stderr,
+                 "usage: bench_figures [convergence|runtime|scaling|all] "
+                 "[--smoke]\n");
+    return 2;
+  }
+
+  if (figure == "convergence" || figure == "all") run_convergence(cfg);
+  if (figure == "runtime" || figure == "all") run_runtime(cfg);
+  if (figure == "scaling" || figure == "all") run_scaling(cfg);
+  return 0;
+}

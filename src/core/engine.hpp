@@ -3,12 +3,28 @@
 // instead.
 //
 // Each algorithm family has ONE engine class implementing the shared
-// sample → Gram → allreduce → apply skeleton on the zero-copy
+// sample → pack → allreduce → apply skeleton on the zero-copy
 // la::BatchView + la::Workspace pipeline; the classical and
 // synchronization-avoiding variants of a family are the same engine at
 // unrolling depth 1 vs s (SolverSpec::unroll_depth()).  EngineBase owns
-// everything the skeleton shares: the outer-round loop, trace cadence,
-// stopping criteria, observer dispatch, and result finalization.
+// everything the skeleton shares: the outer-round loop, the per-round
+// dist::RoundMessage (the ONE collective per round, with the piggy-backed
+// objective / stop-flag trailer sections), trace cadence, stopping
+// criteria, observer dispatch, and result finalization.
+//
+// A round runs as
+//
+//   pack_round(msg)         engine: sample, layout + write Gram/dot sections
+//   msg.reduce_start()      the round's single collective, nonblocking
+//   overlap_round()         engine: replicated work independent of the sums
+//                           (θ recurrences etc.), overlapped with the
+//                           in-flight reduction
+//   msg.reduce_wait()
+//   apply_round(msg)        engine: unpack, inner iterations, batch updates
+//
+// followed by the base class unpacking the trailer sections and evaluating
+// the stopping criteria — so enabling objective-tolerance or wall-budget
+// stopping never adds a message.
 #pragma once
 
 #include <chrono>
@@ -18,6 +34,8 @@
 #include "core/group_lasso.hpp"  // GroupLassoOptions (for to_spec)
 #include "core/solver.hpp"
 #include "data/partition.hpp"
+#include "dist/round_message.hpp"
+#include "la/workspace.hpp"
 
 namespace sa::core::detail {
 
@@ -27,11 +45,12 @@ inline double seconds_since(EngineClock::time_point start) {
   return std::chrono::duration<double>(EngineClock::now() - start).count();
 }
 
-/// Shared outer-round skeleton.  Derived engines implement one
-/// communication round (do_round), trace-point evaluation
-/// (record_trace_point), and result assembly (assemble); everything else
-/// — cadence, stopping criteria, step()/run()/finish() plumbing — lives
-/// here so the six algorithms cannot drift apart.
+/// Shared outer-round skeleton.  Derived engines implement the three round
+/// phases (pack_round / overlap_round / apply_round), trace-point
+/// evaluation (record_trace_point), and result assembly (assemble);
+/// everything else — cadence, stopping criteria, the round message,
+/// step()/run()/finish() plumbing — lives here so the six algorithms
+/// cannot drift apart.
 class EngineBase : public Solver {
  public:
   std::size_t step(std::size_t iterations = 1) final;
@@ -46,8 +65,35 @@ class EngineBase : public Solver {
  protected:
   EngineBase(dist::Communicator& comm, const SolverSpec& spec);
 
-  /// One communication round of `s_eff` inner iterations (1 ≤ s_eff ≤ s).
-  virtual void do_round(std::size_t s_eff) = 0;
+  /// Packs one round of `s_eff` inner iterations: sample the batch, call
+  /// msg.layout(...) for the Gram/dot sections, and write them (typically
+  /// one fused kernel call into the returned body span).
+  virtual void pack_round(std::size_t s_eff, dist::RoundMessage& msg) = 0;
+
+  /// Replicated work independent of the reduced sums, run while the
+  /// round's collective is in flight (θ recurrence tables and the like).
+  virtual void overlap_round(std::size_t s_eff) { (void)s_eff; }
+
+  /// Unpacks the reduced Gram/dot sections and replays the s_eff inner
+  /// iterations plus the deferred batch updates.
+  virtual void apply_round(std::size_t s_eff,
+                          const dist::RoundMessage& msg) = 0;
+
+  /// Round-objective piggyback (the kObjective section).  Engines whose
+  /// objective splits into a summable local partial plus a replicated
+  /// term (the regression families) return true and implement the two
+  /// hooks; objective-tolerance stopping then works at round granularity
+  /// with zero extra messages and no trace requirement.  The SVM duality
+  /// gap needs a full margins reduction, so the SVM engine leaves this
+  /// off and keeps gap/objective stopping at trace points.
+  virtual bool has_round_objective() const { return false; }
+  /// Local summand of the objective at the CURRENT iterate (pack time).
+  virtual double local_objective_partial() { return 0.0; }
+  /// Full replicated objective from the reduced partial.
+  virtual double objective_from_partial(double reduced_partial) {
+    (void)reduced_partial;
+    return 0.0;
+  }
 
   /// Evaluates the traced quantity (objective / duality gap) at
   /// `iteration` and pushes a TracePoint.  Implementations must exclude
@@ -70,7 +116,15 @@ class EngineBase : public Solver {
   EngineClock::time_point start_ = EngineClock::now();
 
  private:
+  void run_round(std::size_t s_eff);
   void check_stops_after_round();
+
+  // The per-round message plane: ONE collective per outer round, with the
+  // stopping criteria riding as trailer sections (sized once, up front).
+  la::Workspace msg_ws_;
+  dist::RoundMessage msg_{msg_ws_};
+  bool piggyback_objective_ = false;
+  bool piggyback_wall_ = false;
 
   std::size_t iterations_done_ = 0;
   std::size_t since_trace_ = 0;
@@ -80,6 +134,9 @@ class EngineBase : public Solver {
   StopReason reason_ = StopReason::kMaxIterations;
   bool have_prev_objective_ = false;
   double prev_objective_ = 0.0;
+  bool have_prev_round_objective_ = false;
+  double prev_round_objective_ = 0.0;
+  std::size_t prev_round_objective_iter_ = 0;
 };
 
 // Engine factories (validate the spec, then construct).  The registry

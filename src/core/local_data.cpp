@@ -42,23 +42,34 @@ la::VectorBatch RowBlock::gather_columns(
   return la::VectorBatch::sparse(std::move(vectors), m_loc);
 }
 
+const std::vector<double>& RowBlock::staged_columns() const {
+  // One densification pass for the whole solve: every column scattered
+  // into its own contiguous run (column-major over the local block).  The
+  // same values the per-iteration scatter produced, paid once instead of
+  // once per round.
+  if (stage_.empty()) {
+    const std::size_t m_loc = local_rows();
+    stage_.assign(num_features() * m_loc, 0.0);
+    for (std::size_t c = 0; c < num_features(); ++c) {
+      double* run = stage_.data() + c * m_loc;
+      const auto idx = csc_.col_indices(c);
+      const auto val = csc_.col_values(c);
+      for (std::size_t p = 0; p < idx.size(); ++p) run[idx[p]] = val[p];
+    }
+  }
+  return stage_;
+}
+
 la::BatchView RowBlock::view_columns(std::span<const std::size_t> cols,
                                      la::Workspace& ws) const {
   const std::size_t m_loc = local_rows();
   const std::size_t k = cols.size();
   if (dense_batches_) {
-    // Densify into the workspace staging area (zeroed, then scattered —
-    // the same values the gather path produces, without the allocation).
-    std::span<double> stage = ws.dense_stage(k * m_loc);
-    la::fill(stage, 0.0);
+    const std::vector<double>& stage = staged_columns();
     std::span<const double*> rows = ws.member_rows(k);
     for (std::size_t c = 0; c < k; ++c) {
       SA_CHECK(cols[c] < num_features(), "view_columns: column out of range");
-      double* row = stage.data() + c * m_loc;
-      rows[c] = row;
-      const auto idx = csc_.col_indices(cols[c]);
-      const auto val = csc_.col_values(cols[c]);
-      for (std::size_t p = 0; p < idx.size(); ++p) row[idx[p]] = val[p];
+      rows[c] = stage.data() + cols[c] * m_loc;
     }
     return la::BatchView::dense(rows, m_loc);
   }
@@ -106,21 +117,30 @@ la::VectorBatch ColBlock::gather_rows(
   return la::VectorBatch::sparse(std::move(vectors), n_loc);
 }
 
+const std::vector<double>& ColBlock::staged_rows() const {
+  if (stage_.empty()) {
+    const std::size_t n_loc = local_cols();
+    stage_.assign(num_points() * n_loc, 0.0);
+    for (std::size_t r = 0; r < num_points(); ++r) {
+      double* run = stage_.data() + r * n_loc;
+      const auto idx = a_.row_indices(r);
+      const auto val = a_.row_values(r);
+      for (std::size_t p = 0; p < idx.size(); ++p) run[idx[p]] = val[p];
+    }
+  }
+  return stage_;
+}
+
 la::BatchView ColBlock::view_rows(std::span<const std::size_t> rows,
                                   la::Workspace& ws) const {
   const std::size_t n_loc = local_cols();
   const std::size_t k = rows.size();
   if (dense_batches_) {
-    std::span<double> stage = ws.dense_stage(k * n_loc);
-    la::fill(stage, 0.0);
+    const std::vector<double>& stage = staged_rows();
     std::span<const double*> ptrs = ws.member_rows(k);
     for (std::size_t r = 0; r < k; ++r) {
       SA_CHECK(rows[r] < num_points(), "view_rows: row out of range");
-      double* row = stage.data() + r * n_loc;
-      ptrs[r] = row;
-      const auto idx = a_.row_indices(rows[r]);
-      const auto val = a_.row_values(rows[r]);
-      for (std::size_t p = 0; p < idx.size(); ++p) row[idx[p]] = val[p];
+      ptrs[r] = stage.data() + rows[r] * n_loc;
     }
     return la::BatchView::dense(ptrs, n_loc);
   }

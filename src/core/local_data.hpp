@@ -62,18 +62,26 @@ class RowBlock {
 
   /// Zero-copy counterpart of gather_columns: returns a BatchView whose
   /// sparse members alias the resident CSC arrays directly; in dense-batch
-  /// mode the columns are densified into `ws`'s staging area (no heap
-  /// allocation in steady state).  The view is valid until the next
+  /// mode the members point into a column-major staged copy of the whole
+  /// local block, densified ONCE on first use and kept alive across
+  /// iterations — sampled views then cost only k pointer writes, no
+  /// per-iteration memset + scatter.  The view is valid until the next
   /// view_columns call on the same workspace.
   la::BatchView view_columns(std::span<const std::size_t> cols,
                              la::Workspace& ws) const;
 
  private:
+  const std::vector<double>& staged_columns() const;
+
   la::CsrMatrix a_;   // m_loc × n
   la::CscMatrix csc_; // column mirror of a_
   std::vector<double> b_;
   std::vector<double> col_norms_;  // ‖local slice of column j‖² for all j
   bool dense_batches_ = false;
+  // Lazily-built column-major dense copy (n × m_loc, one column per run)
+  // backing dense-mode views; empty until the first view_columns call, so
+  // solves on the sparse or copy-based paths never pay for it.
+  mutable std::vector<double> stage_;
 };
 
 /// The column block of one rank under 1D-column partitioning.
@@ -93,15 +101,21 @@ class ColBlock {
   la::VectorBatch gather_rows(const std::vector<std::size_t>& rows) const;
 
   /// Zero-copy counterpart of gather_rows: sparse members alias the CSR
-  /// row arrays directly; dense-batch mode stages into `ws`.  Valid until
-  /// the next view_rows call on the same workspace.
+  /// row arrays directly; dense-batch mode points into a row-major staged
+  /// copy of the local block, densified once and reused across
+  /// iterations.  Valid until the next view_rows call on the same
+  /// workspace.
   la::BatchView view_rows(std::span<const std::size_t> rows,
                           la::Workspace& ws) const;
 
  private:
+  const std::vector<double>& staged_rows() const;
+
   la::CsrMatrix a_;  // m × n_loc
   std::vector<double> b_;
   bool dense_batches_ = false;
+  // Lazily-built dense copy (m × n_loc) backing dense-mode views.
+  mutable std::vector<double> stage_;
 };
 
 }  // namespace sa::core

@@ -1,8 +1,8 @@
 // The Group Lasso family engine: randomized group BCD with the
 // non-separable block soft-threshold prox, classical (s = 1) and
 // synchronization-avoiding (s > 1) in one class.  A communication round
-// samples s_eff groups, performs the ONE fused allreduce
-// [upper(G) | Yᵀr̃], and replays the group updates redundantly.
+// samples s_eff groups, packs the ONE fused RoundMessage
+// [upper(G) | Yᵀr̃ | trailer], and replays the group updates redundantly.
 #include "core/sa_group_lasso.hpp"
 
 #include <algorithm>
@@ -60,25 +60,46 @@ class GroupLassoEngine final : public detail::EngineBase {
 
  private:
   enum : std::size_t { kSlotIdx = 0 };
-  enum : std::size_t { kSlotDelta = 0, kSlotBuffer = 1 };
+  enum : std::size_t { kSlotDelta = 0 };
 
-  void record_trace_point(std::size_t iteration) override {
+  double penalty_value() const {
     const GroupStructure& groups = spec_.groups;
-    const dist::CommStats snapshot = comm_.stats();
-    const double total_sq =
-        comm_.allreduce_sum_scalar(la::nrm2_squared(res_));
     double penalty = 0.0;
     for (std::size_t g = 0; g < groups.num_groups(); ++g) {
       const std::size_t begin = groups.offsets[g];
       penalty += la::nrm2(std::span<const double>(
           x_.data() + begin, groups.offsets[g + 1] - begin));
     }
-    comm_.set_stats(snapshot);
-    push_trace_point(iteration, 0.5 * total_sq + spec_.lambda * penalty,
-                     snapshot);
+    return spec_.lambda * penalty;
   }
 
-  void do_round(std::size_t s_eff) override {
+  void record_trace_point(std::size_t iteration) override {
+    const dist::CommStats snapshot = comm_.stats();
+    const double total_sq =
+        comm_.allreduce_sum_scalar(la::nrm2_squared(res_));
+    const double penalty = penalty_value();
+    comm_.set_stats(snapshot);
+    push_trace_point(iteration, 0.5 * total_sq + penalty, snapshot);
+  }
+
+  // --- Round-objective piggyback (kObjective trailer section): the
+  // residual norm splits over the row partition; the replicated group
+  // penalty is stashed at pack time so the criterion's objective matches
+  // the iterate that produced the partial.
+  bool has_round_objective() const override { return true; }
+
+  double local_objective_partial() override {
+    pending_penalty_ = penalty_value();
+    comm_.add_flops(2 * res_.size());
+    comm_.add_replicated_flops(2 * n_);
+    return la::nrm2_squared(res_);
+  }
+
+  double objective_from_partial(double reduced_partial) override {
+    return 0.5 * reduced_partial + pending_penalty_;
+  }
+
+  void pack_round(std::size_t s_eff, dist::RoundMessage& msg) override {
     const GroupStructure& groups = spec_.groups;
 
     // --- Sample s_eff groups (with replacement, seed-replicated).
@@ -94,24 +115,31 @@ class GroupLassoEngine final : public detail::EngineBase {
           offset_[t] + (groups.offsets[g + 1] - groups.offsets[g]);
     }
     const std::size_t k = offset_[s_eff];
-    const std::span<std::size_t> idx = ws_.indices(kSlotIdx, k);
+    idx_ = ws_.indices(kSlotIdx, k);
     for (std::size_t t = 0; t < s_eff; ++t) {
       const std::size_t begin = groups.offsets[group_of_[t]];
       for (std::size_t l = 0; l < offset_[t + 1] - offset_[t]; ++l)
-        idx[offset_[t] + l] = begin + l;
+        idx_[offset_[t] + l] = begin + l;
     }
-    const la::BatchView big = block_.view_columns(idx, ws_);
+    big_ = block_.view_columns(idx_, ws_);
 
-    // --- ONE allreduce: [upper(G) | Yᵀr̃], fused into the buffer. ---
-    const std::size_t tri = detail::triangle_size(k);
-    const std::span<double> buffer = ws_.doubles(kSlotBuffer, tri + k);
+    // --- ONE message: [upper(G) | Yᵀr̃], fused into the body. ---
+    const std::span<double> body =
+        msg.layout(detail::triangle_size(k), k, 0);
     const std::array<std::span<const double>, 1> rhs{
         std::span<const double>(res_)};
-    la::sampled_gram_and_dots(big, rhs, buffer);
-    comm_.add_flops(big.gram_flops() + big.dot_all_flops());
-    comm_.allreduce_sum(buffer);
-    const detail::PackedUpper gram(buffer.data(), k);
-    const std::span<const double> rdots(buffer.data() + tri, k);
+    la::sampled_gram_and_dots(big_, rhs, body);
+    comm_.add_flops(big_.gram_flops() + big_.dot_all_flops());
+  }
+
+  void apply_round(std::size_t s_eff,
+                   const dist::RoundMessage& msg) override {
+    const GroupStructure& groups = spec_.groups;
+    const std::size_t k = offset_[s_eff];
+    const detail::PackedUpper gram(
+        msg.section(dist::RoundSection::kGram).data(), k);
+    const std::span<const double> rdots =
+        msg.section(dist::RoundSection::kDots1);
 
     // --- Redundant inner iterations: the plain-BCD unrolling with the
     //     group soft-threshold as the (non-separable) prox. ---
@@ -181,8 +209,8 @@ class GroupLassoEngine final : public detail::EngineBase {
         const double d = delta[offset_[t] + a];
         if (d == 0.0) continue;
         x_[begin + a] += d;
-        big.add_scaled_to(offset_[t] + a, d, res_);
-        comm_.add_flops(2 * big.member_nnz(offset_[t] + a));
+        big_.add_scaled_to(offset_[t] + a, d, res_);
+        comm_.add_flops(2 * big_.member_nnz(offset_[t] + a));
       }
     }
   }
@@ -208,6 +236,11 @@ class GroupLassoEngine final : public detail::EngineBase {
   std::vector<double> base_state_;
   la::DenseMatrix gjj_;
   la::EigenScratch eig_scratch_;
+
+  // Pack-to-apply round state (backed by ws_, valid across the round).
+  std::span<std::size_t> idx_;
+  la::BatchView big_;
+  double pending_penalty_ = 0.0;
 };
 
 }  // namespace

@@ -2,11 +2,13 @@
 //
 // One class implements CD/BCD/accCD/accBCD *and* their
 // synchronization-avoiding variants: a communication round samples
-// s_eff·µ coordinates, performs the ONE fused allreduce
-// [upper(G) | Yᵀỹ | Yᵀz̃], and replays s_eff redundant inner iterations —
-// with s_eff == 1 this is exactly Algorithm 1, so the classical solvers
-// are this engine at unrolling depth 1 (and inherit the zero-copy
-// la::BatchView + la::Workspace pipeline for free).
+// s_eff·µ coordinates, packs the ONE fused RoundMessage
+// [upper(G) | Yᵀỹ | Yᵀz̃ | trailer], and replays s_eff redundant inner
+// iterations — with s_eff == 1 this is exactly Algorithm 1, so the
+// classical solvers are this engine at unrolling depth 1 (and inherit the
+// zero-copy la::BatchView + la::Workspace pipeline for free).  The θ
+// recurrence table is computed in overlap_round, while the reduction is
+// in flight.
 #include "core/sa_lasso.hpp"
 
 #include <array>
@@ -72,7 +74,7 @@ class LassoEngine final : public detail::EngineBase {
  private:
   // Workspace slots (indices pool / doubles pool are independent).
   enum : std::size_t { kSlotIdx = 0 };
-  enum : std::size_t { kSlotDelta = 0, kSlotPending = 1, kSlotBuffer = 2 };
+  enum : std::size_t { kSlotDelta = 0, kSlotPending = 1 };
 
   void write_current_x(std::span<double> out) const {
     if (!spec_.accelerated) {
@@ -83,69 +85,104 @@ class LassoEngine final : public detail::EngineBase {
     for (std::size_t j = 0; j < n_; ++j) out[j] = t2 * y_[j] + z_[j];
   }
 
-  void record_trace_point(std::size_t iteration) override {
-    const dist::CommStats snapshot = comm_.stats();
-    write_current_x(x_scratch_);
+  double penalty_value(std::span<const double> x) const {
+    switch (spec_.penalty) {
+      case Penalty::kLasso:
+        return spec_.lambda * la::asum(x);
+      case Penalty::kElasticNet:
+        return spec_.lambda * (spec_.elastic_net_l1 * la::asum(x) +
+                               spec_.elastic_net_l2 * la::nrm2_squared(x));
+    }
+    return 0.0;
+  }
+
+  /// Writes the current residual image (θ²·ỹ + z̃, or z̃ in plain mode)
+  /// into res_scratch_.
+  void write_current_residual() {
     const double t2 = theta_ * theta_;
     for (std::size_t i = 0; i < res_scratch_.size(); ++i)
       res_scratch_[i] =
           spec_.accelerated ? t2 * y_img_[i] + z_img_[i] : z_img_[i];
-    const double total_sq =
-        comm_.allreduce_sum_scalar(la::nrm2_squared(res_scratch_));
-    double penalty_value = 0.0;
-    switch (spec_.penalty) {
-      case Penalty::kLasso:
-        penalty_value = spec_.lambda * la::asum(x_scratch_);
-        break;
-      case Penalty::kElasticNet:
-        penalty_value =
-            spec_.lambda * (spec_.elastic_net_l1 * la::asum(x_scratch_) +
-                            spec_.elastic_net_l2 *
-                                la::nrm2_squared(x_scratch_));
-        break;
-    }
-    comm_.set_stats(snapshot);
-    push_trace_point(iteration, 0.5 * total_sq + penalty_value, snapshot);
   }
 
-  void do_round(std::size_t s_eff) override {
+  void record_trace_point(std::size_t iteration) override {
+    const dist::CommStats snapshot = comm_.stats();
+    write_current_x(x_scratch_);
+    write_current_residual();
+    const double total_sq =
+        comm_.allreduce_sum_scalar(la::nrm2_squared(res_scratch_));
+    const double penalty = penalty_value(x_scratch_);
+    comm_.set_stats(snapshot);
+    push_trace_point(iteration, 0.5 * total_sq + penalty, snapshot);
+  }
+
+  // --- Round-objective piggyback (kObjective trailer section). ---------
+  // The residual norm splits over the row partition, so the local partial
+  // rides the round message; the (replicated) penalty is evaluated at
+  // pack time and stashed, keeping the criterion's objective consistent
+  // with the iterate that produced the partial.
+  bool has_round_objective() const override { return true; }
+
+  double local_objective_partial() override {
+    write_current_x(x_scratch_);
+    pending_penalty_ = penalty_value(x_scratch_);
+    write_current_residual();
+    comm_.add_flops(2 * res_scratch_.size());
+    comm_.add_replicated_flops(2 * n_);
+    return la::nrm2_squared(res_scratch_);
+  }
+
+  double objective_from_partial(double reduced_partial) override {
+    return 0.5 * reduced_partial + pending_penalty_;
+  }
+
+  void pack_round(std::size_t s_eff, dist::RoundMessage& msg) override {
     const std::size_t k = s_eff * mu_;  // members of the sampled batch
 
     // --- Sampling: s_eff blocks of µ coordinates (seed-replicated),
     //     viewed zero-copy in the resident CSC storage. ---
-    const std::span<std::size_t> idx = ws_.indices(kSlotIdx, k);
+    idx_ = ws_.indices(kSlotIdx, k);
     for (std::size_t t = 0; t < s_eff; ++t)
-      sampler_.next_into(idx.subspan(t * mu_, mu_));
-    const la::BatchView big = block_.view_columns(idx, ws_);
+      sampler_.next_into(idx_.subspan(t * mu_, mu_));
+    big_ = block_.view_columns(idx_, ws_);
 
-    // --- The ONE communication round of this outer iteration:
+    // --- The ONE message of this outer round:
     //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]),
-    //     fused straight into the allreduce buffer. ---
+    //     fused straight into the message body. ---
     const std::size_t tri = detail::triangle_size(k);
     const std::size_t sections = spec_.accelerated ? 2 : 1;
-    const std::span<double> buffer =
-        ws_.doubles(kSlotBuffer, tri + sections * k);
+    const std::span<double> body =
+        msg.layout(tri, k, spec_.accelerated ? k : 0);
     const std::array<std::span<const double>, 2> rhs{
         std::span<const double>(y_img_), std::span<const double>(z_img_)};
     la::sampled_gram_and_dots(
-        big,
+        big_,
         std::span<const std::span<const double>>(
             rhs.data() + (spec_.accelerated ? 0 : 1), sections),
-        buffer);
-    comm_.add_flops(big.gram_flops() + sections * big.dot_all_flops());
-    comm_.allreduce_sum(buffer);
-    const detail::PackedUpper gram(buffer.data(), k);
-    const std::span<const double> dots1(buffer.data() + tri, k);
-    const std::span<const double> dots2(
-        buffer.data() + tri + (spec_.accelerated ? k : 0),
-        spec_.accelerated ? k : 0);
+        body);
+    comm_.add_flops(big_.gram_flops() + sections * big_.dot_all_flops());
+  }
 
-    // --- Redundant inner iterations (equations (3)–(5)), replicated. ---
-    // θ entering inner iteration t (θ_{sk+t} in paper indexing, t 0-based).
+  void overlap_round(std::size_t s_eff) override {
+    // θ entering inner iteration t (θ_{sk+t} in paper indexing, t
+    // 0-based): a pure recurrence on θ, independent of the reduced sums —
+    // replicated work that hides under the in-flight collective.
     theta_in_[0] = theta_;
     for (std::size_t t = 0; t < s_eff; ++t)
       theta_in_[t + 1] = detail::theta_next(theta_in_[t]);
+  }
 
+  void apply_round(std::size_t s_eff,
+                   const dist::RoundMessage& msg) override {
+    const std::size_t k = s_eff * mu_;
+    const detail::PackedUpper gram(
+        msg.section(dist::RoundSection::kGram).data(), k);
+    const std::span<const double> dots1 =
+        msg.section(dist::RoundSection::kDots1);
+    const std::span<const double> dots2 =
+        msg.section(dist::RoundSection::kDots2);
+
+    // --- Redundant inner iterations (equations (3)–(5)), replicated. ---
     // Deferred per-iteration solution updates Δz (µ each, flat).
     const std::span<double> delta = ws_.doubles(kSlotDelta, k);
     la::fill(delta, 0.0);
@@ -207,7 +244,7 @@ class LassoEngine final : public detail::EngineBase {
 
       // Equations (4)–(5): proximal step against the deferred state.
       for (std::size_t a = 0; a < mu_; ++a) {
-        const std::size_t coord = idx[j * mu_ + a];
+        const std::size_t coord = idx_[j * mu_ + a];
         const double base_value = z_[coord] + pending_[coord];
         const double g = base_value - eta * r_[a];
         const double d = prox_.apply(g, eta) - base_value;
@@ -228,14 +265,14 @@ class LassoEngine final : public detail::EngineBase {
       for (std::size_t a = 0; a < mu_; ++a) {
         const double d = delta[t * mu_ + a];
         if (d == 0.0) continue;
-        const std::size_t coord = idx[t * mu_ + a];
+        const std::size_t coord = idx_[t * mu_ + a];
         z_[coord] += d;
-        big.add_scaled_to(t * mu_ + a, d, z_img_);
-        comm_.add_flops(2 * big.member_nnz(t * mu_ + a));
+        big_.add_scaled_to(t * mu_ + a, d, z_img_);
+        comm_.add_flops(2 * big_.member_nnz(t * mu_ + a));
         if (spec_.accelerated) {
           y_[coord] -= coeff_t * d;
-          big.add_scaled_to(t * mu_ + a, -coeff_t * d, y_img_);
-          comm_.add_flops(2 * big.member_nnz(t * mu_ + a));
+          big_.add_scaled_to(t * mu_ + a, -coeff_t * d, y_img_);
+          comm_.add_flops(2 * big_.member_nnz(t * mu_ + a));
         }
       }
     }
@@ -267,10 +304,10 @@ class LassoEngine final : public detail::EngineBase {
   double theta_;
 
   // s-step workspace.  The arena slots (sampled indices, deferred deltas,
-  // the pending-update table, the allreduce buffer) and the fixed-size
-  // scratch below are sized by the first (largest) round and reused
-  // verbatim afterwards: the steady-state loop performs no heap
-  // allocation.
+  // the pending-update table) and the fixed-size scratch below are sized
+  // by the first (largest) round and reused verbatim afterwards; the
+  // round message itself lives in EngineBase's arena.  The steady-state
+  // loop performs no heap allocation.
   la::Workspace ws_;
   std::vector<double> theta_in_;
   std::vector<double> r_;
@@ -278,6 +315,12 @@ class LassoEngine final : public detail::EngineBase {
   la::EigenScratch eig_scratch_;
   std::span<double> pending_;
   std::vector<std::size_t> touched_;
+
+  // Pack-to-apply round state: the sampled indices and the zero-copy view
+  // over them (both backed by ws_, so they stay valid across the round).
+  std::span<std::size_t> idx_;
+  la::BatchView big_;
+  double pending_penalty_ = 0.0;
 
   // Trace scratch, reused across every trace point (no fresh vectors).
   std::vector<double> x_scratch_;

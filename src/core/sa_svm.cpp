@@ -1,8 +1,10 @@
 // The dual-CD SVM family engine (paper Algorithms 3 and 4): classical
 // (s = 1) and synchronization-avoiding (s > 1) in one class.  A
-// communication round samples s_eff data points, performs the ONE fused
-// allreduce [upper(G) | Yᵀx], and replays the projected-Newton dual
-// updates redundantly on every rank.
+// communication round samples s_eff data points, packs the ONE fused
+// RoundMessage [upper(G) | Yᵀx | trailer], and replays the
+// projected-Newton dual updates redundantly on every rank.  (The duality
+// gap needs a full margins reduction, so gap-based stopping stays at
+// trace points — the kObjective piggyback is left off for this family.)
 #include "core/sa_svm.hpp"
 
 #include <algorithm>
@@ -48,8 +50,7 @@ class SvmEngine final : public detail::EngineBase {
         margins_(m_) {}
 
  private:
-  enum : std::size_t { kSlotIdx = 0 };     // index pool
-  enum : std::size_t { kSlotBuffer = 0 };  // doubles pool
+  enum : std::size_t { kSlotIdx = 0 };  // index pool
 
   void record_trace_point(std::size_t iteration) override {
     const std::vector<double>& b = block_.labels();
@@ -72,45 +73,54 @@ class SvmEngine final : public detail::EngineBase {
     push_trace_point(iteration, primal - dual, snapshot);
   }
 
-  void do_round(std::size_t s_eff) override {
-    const std::vector<double>& b = block_.labels();
-
+  void pack_round(std::size_t s_eff, dist::RoundMessage& msg) override {
     // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
-    const std::span<std::size_t> idx = ws_.indices(kSlotIdx, s_eff);
+    idx_ = ws_.indices(kSlotIdx, s_eff);
     for (std::size_t t = 0; t < s_eff; ++t)
-      idx[t] = static_cast<std::size_t>(rng_.next_below(m_));
-    const la::BatchView batch = block_.view_rows(idx, ws_);
+      idx_[t] = static_cast<std::size_t>(rng_.next_below(m_));
+    batch_ = block_.view_rows(idx_, ws_);
 
-    // --- The ONE communication round: [upper(G) | Yᵀx], fused straight
-    //     into the allreduce buffer (zero-copy row views). ---
-    const std::size_t tri = detail::triangle_size(s_eff);
-    const std::span<double> buffer = ws_.doubles(kSlotBuffer, tri + s_eff);
+    // --- The ONE message: [upper(G) | Yᵀx], fused straight into the
+    //     body (zero-copy row views). ---
+    const std::span<double> body =
+        msg.layout(detail::triangle_size(s_eff), s_eff, 0);
     const std::array<std::span<const double>, 1> rhs{
         std::span<const double>(x_loc_)};
-    la::sampled_gram_and_dots(batch, rhs, buffer);
-    comm_.add_flops(batch.gram_flops() + batch.dot_all_flops());
-    comm_.allreduce_sum(buffer);
-    const detail::PackedUpper gram(buffer.data(), s_eff);
-    const std::span<const double> xdots(buffer.data() + tri, s_eff);
+    la::sampled_gram_and_dots(batch_, rhs, body);
+    comm_.add_flops(batch_.gram_flops() + batch_.dot_all_flops());
+  }
+
+  void overlap_round(std::size_t s_eff) override {
+    // The deferred-update table is reset while the reduction is in
+    // flight (the inner loop reads it before the first write).
+    std::fill(theta_.begin(), theta_.begin() + s_eff, 0.0);
+  }
+
+  void apply_round(std::size_t s_eff,
+                   const dist::RoundMessage& msg) override {
+    const std::vector<double>& b = block_.labels();
+    const detail::PackedUpper gram(
+        msg.section(dist::RoundSection::kGram).data(), s_eff);
+    const std::span<const double> xdots =
+        msg.section(dist::RoundSection::kDots1);
 
     // --- Redundant inner iterations (equations (14)–(15)), replicated.
-    std::fill(theta_.begin(), theta_.begin() + s_eff, 0.0);
     for (std::size_t j = 0; j < s_eff; ++j) {
       // η_j = G_jj + γ  (Algorithm 4 line 11: diag of G+γI).
       const double eta = gram(j, j) + constants_.gamma;
 
       // β_j per equation (14): α_i plus earlier deferred updates to the
       // same coordinate.
-      double beta = alpha_[idx[j]];
+      double beta = alpha_[idx_[j]];
       for (std::size_t t = 0; t < j; ++t)
-        if (idx[t] == idx[j]) beta += theta_[t];
+        if (idx_[t] == idx_[j]) beta += theta_[t];
 
       // g_j per equation (15): the cross terms use the off-diagonal Gram
       // entries  A_jA_tᵀ = G_jt.
-      double g = b[idx[j]] * xdots[j] - 1.0 + constants_.gamma * beta;
+      double g = b[idx_[j]] * xdots[j] - 1.0 + constants_.gamma * beta;
       for (std::size_t t = 0; t < j; ++t) {
         if (theta_[t] == 0.0) continue;
-        g += theta_[t] * b[idx[j]] * b[idx[t]] * gram(j, t);
+        g += theta_[t] * b[idx_[j]] * b[idx_[t]] * gram(j, t);
       }
       comm_.add_replicated_flops(4 * j);
 
@@ -121,9 +131,9 @@ class SvmEngine final : public detail::EngineBase {
     // --- Deferred batch updates:  α += Σ θ_t e_{i_t},  x += Σ θ_t b_t A_tᵀ.
     for (std::size_t t = 0; t < s_eff; ++t) {
       if (theta_[t] == 0.0) continue;
-      alpha_[idx[t]] += theta_[t];
-      batch.add_scaled_to(t, theta_[t] * b[idx[t]], x_loc_);
-      comm_.add_flops(2 * batch.member_nnz(t));
+      alpha_[idx_[t]] += theta_[t];
+      batch_.add_scaled_to(t, theta_[t] * b[idx_[t]], x_loc_);
+      comm_.add_flops(2 * batch_.member_nnz(t));
     }
   }
 
@@ -147,11 +157,15 @@ class SvmEngine final : public detail::EngineBase {
   std::vector<double> alpha_;  // dual iterate (replicated)
   std::vector<double> x_loc_;  // partitioned primal slice
 
-  // s-step workspace: arena-backed indices and allreduce buffer plus the
-  // θ table, sized by the first (largest) round and reused — the
-  // steady-state loop performs no heap allocation.
+  // s-step workspace: arena-backed indices plus the θ table, sized by the
+  // first (largest) round and reused — the steady-state loop performs no
+  // heap allocation.  The round message lives in EngineBase's arena.
   la::Workspace ws_;
   std::vector<double> theta_;
+
+  // Pack-to-apply round state (backed by ws_, valid across the round).
+  std::span<std::size_t> idx_;
+  la::BatchView batch_;
 
   // Trace scratch, reused across every trace point (no fresh vectors).
   std::vector<double> margins_;

@@ -1,5 +1,6 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string_view>
@@ -146,6 +147,17 @@ SolveResult Solver::run() {
 
 namespace detail {
 
+namespace {
+
+/// The one definition of the objective-plateau predicate, shared by the
+/// piggy-backed round path and the trace-granularity fallback.
+bool objective_plateaued(double prev, double objective, double tolerance) {
+  return std::abs(prev - objective) <=
+         tolerance * std::max(1.0, std::abs(objective));
+}
+
+}  // namespace
+
 EngineBase::EngineBase(dist::Communicator& comm, const SolverSpec& spec)
     : comm_(comm), spec_(spec) {}
 
@@ -153,6 +165,14 @@ std::size_t EngineBase::step(std::size_t iterations) {
   if (finished()) return 0;
   if (first_round_) {
     first_round_ = false;
+    // Decide which trailer sections ride every round's message.  Sizes
+    // are sticky for the whole solve so every rank lays out the same
+    // schema; empty sections cost zero words.
+    piggyback_objective_ =
+        spec_.objective_tolerance > 0.0 && has_round_objective();
+    piggyback_wall_ = spec_.wall_clock_budget > 0.0;
+    msg_.set_trailer_sizes(piggyback_objective_ ? 1 : 0,
+                           piggyback_wall_ ? 1 : 0);
     if (spec_.trace_every > 0) {
       record_trace_point(0);
       // Seed the objective-tolerance reference; criteria never fire on the
@@ -166,7 +186,7 @@ std::size_t EngineBase::step(std::size_t iterations) {
   while (!finished() && advanced < iterations) {
     const std::size_t s_eff = std::min(spec_.unroll_depth(),
                                        spec_.max_iterations - iterations_done_);
-    do_round(s_eff);
+    run_round(s_eff);
     iterations_done_ += s_eff;
     since_trace_ += s_eff;
     advanced += s_eff;
@@ -176,39 +196,83 @@ std::size_t EngineBase::step(std::size_t iterations) {
       since_trace_ = 0;
       check_stops_after_round();
     }
-    if (!done_ && spec_.wall_clock_budget > 0.0) {
-      // Replicated decision: every rank adopts rank 0's clock, so the
-      // ranks agree on when to stop (their local clocks may not).  The
-      // check is instrumentation, not algorithm: exclude its allreduce
-      // from the metered counters (snapshot / restore, exactly like the
-      // trace-point objective evaluations) so enabling a budget does not
-      // change the communication profile the benches price.
-      const dist::CommStats snapshot = comm_.stats();
-      const double elapsed =
-          comm_.rank() == 0 ? seconds_since(start_) : 0.0;
-      const double elapsed0 = comm_.allreduce_sum_scalar(elapsed);
-      comm_.set_stats(snapshot);
-      if (elapsed0 >= spec_.wall_clock_budget) {
-        done_ = true;
-        reason_ = StopReason::kWallClockBudget;
-      }
-    }
     if (observer_) observer_(iterations_done_);
   }
   return advanced;
 }
 
+void EngineBase::run_round(std::size_t s_eff) {
+  // Pack: the engine lays out and writes the Gram/dot sections; the base
+  // class fills the piggy-backed trailer.  The objective partial reflects
+  // the iterate ENTERING this round (pack time), so the criterion it
+  // feeds lags the iterate by one round — the price of zero extra
+  // messages.
+  pack_round(s_eff, msg_);
+  if (piggyback_objective_)
+    msg_.section(dist::RoundSection::kObjective)[0] =
+        local_objective_partial();
+  if (piggyback_wall_)
+    // Replicated decision: every rank adopts rank 0's clock, so the ranks
+    // agree on when to stop (their local clocks may not).  Sampled at
+    // pack time, so the decision lags the clock by up to one round — a
+    // budget can be overshot by as much as two round durations (the old
+    // post-round scalar allreduce overshot by one; the difference buys
+    // zero extra messages).
+    msg_.section(dist::RoundSection::kStopFlags)[0] =
+        comm_.rank() == 0 ? seconds_since(start_) : 0.0;
+
+  msg_.reduce_start(comm_);
+  overlap_round(s_eff);  // replicated work, overlapped with the reduction
+  msg_.reduce_wait(comm_);
+  apply_round(s_eff, msg_);
+
+  // Trailer sections → stopping criteria, zero extra collectives.
+  if (piggyback_objective_ && !done_) {
+    const double objective = objective_from_partial(
+        msg_.section(dist::RoundSection::kObjective)[0]);
+    // Compare samples spaced at least trace_every iterations apart (round
+    // granularity when tracing is off): single-round plateaus — one
+    // unlucky zero-update block — must not stop a classical (s = 1)
+    // solve.
+    const std::size_t cadence = std::max<std::size_t>(spec_.trace_every, 1);
+    if (have_prev_round_objective_ &&
+        iterations_done_ - prev_round_objective_iter_ >= cadence) {
+      if (objective_plateaued(prev_round_objective_, objective,
+                              spec_.objective_tolerance)) {
+        done_ = true;
+        reason_ = StopReason::kObjectiveTolerance;
+      }
+      prev_round_objective_ = objective;
+      prev_round_objective_iter_ = iterations_done_;
+    } else if (!have_prev_round_objective_) {
+      have_prev_round_objective_ = true;
+      prev_round_objective_ = objective;
+      prev_round_objective_iter_ = iterations_done_;
+    }
+  }
+  if (piggyback_wall_ && !done_ &&
+      msg_.section(dist::RoundSection::kStopFlags)[0] >=
+          spec_.wall_clock_budget) {
+    done_ = true;
+    reason_ = StopReason::kWallClockBudget;
+  }
+}
+
 void EngineBase::check_stops_after_round() {
   const double objective = trace_.points.back().objective;
-  if (spec_.gap_tolerance > 0.0 && objective <= spec_.gap_tolerance) {
-    done_ = true;
-    reason_ = StopReason::kGapTolerance;
-  } else if (spec_.objective_tolerance > 0.0 && have_prev_objective_ &&
-             std::abs(prev_objective_ - objective) <=
-                 spec_.objective_tolerance *
-                     std::max(1.0, std::abs(objective))) {
-    done_ = true;
-    reason_ = StopReason::kObjectiveTolerance;
+  if (!done_) {
+    if (spec_.gap_tolerance > 0.0 && objective <= spec_.gap_tolerance) {
+      done_ = true;
+      reason_ = StopReason::kGapTolerance;
+    } else if (!piggyback_objective_ && spec_.objective_tolerance > 0.0 &&
+               have_prev_objective_ &&
+               objective_plateaued(prev_objective_, objective,
+                                   spec_.objective_tolerance)) {
+      // Trace-granularity fallback for engines without a summable round
+      // objective (the SVM duality gap needs a full margins reduction).
+      done_ = true;
+      reason_ = StopReason::kObjectiveTolerance;
+    }
   }
   have_prev_objective_ = true;
   prev_objective_ = objective;

@@ -87,15 +87,27 @@ struct SolverSpec {
   SvmLoss loss = SvmLoss::kL1;
 
   // -- stopping criteria beyond max_iterations ------------------------
-  // Objective-based criteria are evaluated at trace points only (they
-  // need the replicated objective), so they require trace_every > 0 to
-  // ever fire — matching the legacy SvmOptions::gap_tolerance contract.
-  double objective_tolerance = 0.0;  ///< stop when successive trace
-                                     ///< objectives differ by ≤ tol·max(1,|f|)
+  // All criteria are piggy-backed on the round's single allreduce where
+  // the algorithm allows it (see dist/round_message.hpp): enabling them
+  // never adds a message per round.  For the regression families the
+  // objective tolerance rides the message as a one-word partial and is
+  // evaluated at round granularity even with tracing off (successive
+  // samples are spaced at least trace_every iterations apart when a trace
+  // cadence is set).  The SVM duality gap needs a full margins reduction,
+  // so the SVM gap/objective criteria are evaluated at trace points only
+  // and require trace_every > 0 to ever fire — matching the legacy
+  // SvmOptions::gap_tolerance contract.
+  double objective_tolerance = 0.0;  ///< stop when successive objective
+                                     ///< samples differ by ≤ tol·max(1,|f|)
   double gap_tolerance = 0.0;        ///< SVM: stop when gap ≤ tol
-  double wall_clock_budget = 0.0;    ///< seconds; checked once per round
-                                     ///< (rank 0's clock, replicated, and
-                                     ///< excluded from the metering)
+  double wall_clock_budget = 0.0;    ///< seconds; rank 0's clock rides the
+                                     ///< round message's stop-flag section
+                                     ///< (replicated decision, one word).
+                                     ///< The clock is sampled when the
+                                     ///< round is packed, so the budget
+                                     ///< can be overshot by up to two
+                                     ///< round durations — the price of
+                                     ///< zero extra messages.
 
   // -- builder-style construction ------------------------------------
   static SolverSpec make(std::string algorithm_id);

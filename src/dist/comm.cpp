@@ -1,5 +1,7 @@
 #include "dist/comm.hpp"
 
+#include "common/check.hpp"
+
 namespace sa::dist {
 
 std::size_t collective_rounds(int ranks) {
@@ -12,17 +14,64 @@ std::size_t collective_rounds(int ranks) {
   return rounds;
 }
 
-void Communicator::allreduce_sum(std::span<double> data) {
-  do_allreduce_sum(data);
+void Communicator::charge_collective(std::size_t payload_words) {
   const std::size_t rounds = collective_rounds(size());
   stats_.collectives += 1;
   stats_.messages += rounds;
-  stats_.words += data.size() * rounds;
+  stats_.words += payload_words * rounds;
+}
+
+void Communicator::allreduce_sum(std::span<double> data) {
+  SA_CHECK(!pending_active_,
+           "Communicator::allreduce_sum: a nonblocking allreduce is in "
+           "flight; wait() on it first");
+  do_allreduce_sum(data);
+  charge_collective(data.size());
 }
 
 double Communicator::allreduce_sum_scalar(double value) {
   allreduce_sum(std::span<double>(&value, 1));
   return value;
+}
+
+void Communicator::allreduce_start(std::span<double> data) {
+  SA_CHECK(!pending_active_,
+           "Communicator::allreduce_start: only one allreduce may be in "
+           "flight per communicator");
+  // Mark the operation in flight only once the backend accepted it: a
+  // backend throw (e.g. a buffer-length mismatch) must leave the
+  // communicator usable, exactly like the blocking path.
+  do_allreduce_start(data);
+  pending_ = data;
+  pending_active_ = true;
+  charge_collective(data.size());
+}
+
+void Communicator::allreduce_wait() {
+  SA_CHECK(pending_active_,
+           "Communicator::allreduce_wait: no allreduce in flight");
+  do_allreduce_wait(pending_);
+  pending_active_ = false;
+  pending_ = std::span<double>();
+}
+
+void Communicator::do_allreduce_start(std::span<double> /*data*/) {
+  // Default: defer the whole reduction to wait().
+  pending_deferred_ = true;
+}
+
+void Communicator::do_allreduce_wait(std::span<double> data) {
+  if (pending_deferred_) {
+    pending_deferred_ = false;
+    do_allreduce_sum(data);
+  }
+}
+
+void Communicator::note_section(RoundSection s, std::size_t words) {
+  if (words == 0) return;
+  SectionTraffic& t = stats_.sections[static_cast<std::size_t>(s)];
+  t.collectives += 1;
+  t.words += words * collective_rounds(size());
 }
 
 }  // namespace sa::dist

@@ -8,6 +8,21 @@
 // payload·rounds words along the critical path, exactly the quantities in
 // the paper's Table I.
 //
+// Two call styles:
+//   * allreduce_sum(data) — the blocking collective;
+//   * allreduce_start(data) / allreduce_wait() — the nonblocking pair.
+//     start() may begin (or fully perform) the reduction; the contents of
+//     `data` are unspecified until wait() returns, and at most one
+//     operation may be in flight per communicator.  The split lets callers
+//     overlap replicated local work with the in-flight reduction — the
+//     engines' round skeleton runs their recurrence precomputation there.
+//
+// The per-round message the solvers exchange is a packed, schema'd
+// RoundMessage (dist/round_message.hpp) whose sections are enumerated here
+// so CommStats can attribute traffic to them: the Gram triangle, the dot
+// blocks, and the piggy-backed objective / stop-flag words all ride ONE
+// collective per outer round.
+//
 // Thread-safety contract: a Communicator instance is owned by exactly one
 // rank (one thread).  Concrete backends synchronise ranks internally (see
 // thread_comm.hpp); callers never share one Communicator object across
@@ -15,11 +30,33 @@
 // requires no locking.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 namespace sa::dist {
+
+/// Sections of the per-round message plane (see dist/round_message.hpp).
+/// kGram/kDots1/kDots2 carry the algorithm's fused payload; kObjective and
+/// kStopFlags are the piggy-backed stopping sections that make the
+/// objective-tolerance and wall-budget criteria cost zero extra messages.
+enum class RoundSection : std::size_t {
+  kGram = 0,   ///< packed upper triangle of the sampled Gram
+  kDots1,      ///< first dot block (Yᵀỹ, or Yᵀr̃ / Yᵀx for one-rhs solvers)
+  kDots2,      ///< second dot block (Yᵀz̃, accelerated Lasso only)
+  kObjective,  ///< piggy-backed local objective partial (1 word when on)
+  kStopFlags,  ///< piggy-backed stop flags (rank 0's clock, 1 word when on)
+};
+inline constexpr std::size_t kRoundSectionCount = 5;
+
+/// Traffic attributed to one RoundMessage section.
+struct SectionTraffic {
+  std::size_t collectives = 0;  ///< collectives the section rode (non-empty)
+  std::size_t words = 0;        ///< payload·rounds words along the path
+
+  std::size_t bytes() const { return 8 * words; }
+};
 
 /// Metered communication/computation counters of one rank.
 ///
@@ -28,15 +65,23 @@ namespace sa::dist {
 /// repeats (eigen-solves, the SA inner recurrences) and do not scale.
 /// `messages` counts latency rounds, `words` the payload moved along the
 /// critical path, and `collectives` the number of allreduce invocations.
+/// `sections` splits the words/collectives by RoundMessage section, so the
+/// benches can show how much of a round's payload the Gram triangle vs the
+/// piggy-backed stopping words account for.
 struct CommStats {
   std::size_t flops = 0;
   std::size_t replicated_flops = 0;
   std::size_t messages = 0;
   std::size_t words = 0;
   std::size_t collectives = 0;
+  std::array<SectionTraffic, kRoundSectionCount> sections{};
 
   /// Bytes corresponding to `words` (the library moves 8-byte doubles).
   std::size_t bytes() const { return 8 * words; }
+
+  const SectionTraffic& section(RoundSection s) const {
+    return sections[static_cast<std::size_t>(s)];
+  }
 };
 
 /// Latency rounds of a binomial-tree collective over `ranks` ranks:
@@ -46,7 +91,8 @@ std::size_t collective_rounds(int ranks);
 /// Abstract communicator: the solver-facing API plus metering.
 ///
 /// Metering lives in this base class so every backend charges identically;
-/// backends only implement the data movement (`do_allreduce_sum`).
+/// backends only implement the data movement (`do_allreduce_sum`, and
+/// optionally the split-phase `do_allreduce_start`/`do_allreduce_wait`).
 class Communicator {
  public:
   virtual ~Communicator() = default;
@@ -68,6 +114,20 @@ class Communicator {
   /// Scalar allreduce; returns the sum over all ranks.
   double allreduce_sum_scalar(double value);
 
+  /// Nonblocking allreduce start.  The buffer must stay alive and
+  /// unmodified until the matching allreduce_wait(); its contents are
+  /// unspecified in between.  At most one operation may be in flight.
+  /// Metering is charged at start, identically to allreduce_sum.
+  void allreduce_start(std::span<double> data);
+
+  /// Completes the in-flight allreduce; afterwards the buffer passed to
+  /// allreduce_start holds the elementwise sum on every rank (same
+  /// rank-ordered determinism as the blocking call).
+  void allreduce_wait();
+
+  /// True between allreduce_start() and allreduce_wait().
+  bool allreduce_pending() const { return pending_active_; }
+
   /// Metered counters accumulated so far on this rank.
   const CommStats& stats() const { return stats_; }
 
@@ -83,12 +143,30 @@ class Communicator {
     stats_.replicated_flops += flops;
   }
 
+  /// Attributes `words` payload words of the current (or just-charged)
+  /// collective to section `s`: the section's word counter grows by
+  /// words·rounds and its collective counter by one.  Called by
+  /// RoundMessage, which knows the schema; no-op for empty sections.
+  void note_section(RoundSection s, std::size_t words);
+
  protected:
   /// Backend hook: performs the actual elementwise sum across ranks.
   virtual void do_allreduce_sum(std::span<double> data) = 0;
 
+  /// Split-phase backend hooks.  The defaults defer the whole reduction to
+  /// wait() — a correct (if overlap-free) implementation for any backend;
+  /// ThreadComm overrides both so the combine genuinely happens in start()
+  /// and only the copy-back waits.
+  virtual void do_allreduce_start(std::span<double> data);
+  virtual void do_allreduce_wait(std::span<double> data);
+
  private:
+  void charge_collective(std::size_t payload_words);
+
   CommStats stats_;
+  std::span<double> pending_;
+  bool pending_active_ = false;
+  bool pending_deferred_ = false;  // default start(): reduce at wait()
 };
 
 }  // namespace sa::dist

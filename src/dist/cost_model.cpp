@@ -27,6 +27,9 @@ CostBreakdown price(const CommStats& stats, const MachineParams& machine) {
       static_cast<double>(stats.flops + stats.replicated_flops);
   b.bandwidth_seconds = machine.beta * static_cast<double>(stats.words);
   b.latency_seconds = machine.alpha * static_cast<double>(stats.messages);
+  for (std::size_t i = 0; i < kRoundSectionCount; ++i)
+    b.section_bandwidth_seconds[i] =
+        machine.beta * static_cast<double>(stats.sections[i].words);
   return b;
 }
 

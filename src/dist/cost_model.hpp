@@ -13,6 +13,7 @@
 // XC30-like HPC interconnect, and a commodity Ethernet/cloud cluster.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "dist/comm.hpp"
@@ -37,16 +38,27 @@ struct MachineParams {
 };
 
 /// Seconds attributed to each α-β-γ term.
+///
+/// With the single-message round plane, one outer round pays α exactly
+/// once regardless of how many schema sections ride the message; only the
+/// β term splits by section.  `section_bandwidth_seconds` prices each
+/// RoundMessage section's word counter so the benches can show what the
+/// Gram triangle vs the piggy-backed stopping words cost (zero for
+/// traffic that did not go through a RoundMessage).
 struct CostBreakdown {
   double compute_seconds = 0.0;    ///< γ·F
   double bandwidth_seconds = 0.0;  ///< β·W
   double latency_seconds = 0.0;    ///< α·L
+  std::array<double, kRoundSectionCount> section_bandwidth_seconds{};
 
   double communication_seconds() const {
     return bandwidth_seconds + latency_seconds;
   }
   double total_seconds() const {
     return compute_seconds + communication_seconds();
+  }
+  double section_seconds(RoundSection s) const {
+    return section_bandwidth_seconds[static_cast<std::size_t>(s)];
   }
 };
 

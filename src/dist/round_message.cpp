@@ -1,0 +1,32 @@
+#include "dist/round_message.hpp"
+
+#include "la/vector_ops.hpp"
+
+namespace sa::dist {
+
+std::span<double> RoundMessage::layout(std::size_t gram_words,
+                                       std::size_t dots1_words,
+                                       std::size_t dots2_words) {
+  words_ = {gram_words, dots1_words, dots2_words, trailer_objective_,
+            trailer_flags_};
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < kRoundSectionCount; ++i) {
+    offset_[i] = running;
+    running += words_[i];
+  }
+  buffer_ = ws_.doubles(slot_, running);
+  // The body is overwritten wholesale by the fused kernel; the trailer is
+  // written field-by-field by the round skeleton, so clear it here in case
+  // a rank packs fewer fields than the schema reserves (non-rank-0 clocks).
+  const std::size_t body = gram_words + dots1_words + dots2_words;
+  la::fill(buffer_.subspan(body), 0.0);
+  return buffer_.first(body);
+}
+
+void RoundMessage::reduce_start(Communicator& comm) {
+  comm.allreduce_start(buffer_);
+  for (std::size_t i = 0; i < kRoundSectionCount; ++i)
+    comm.note_section(static_cast<RoundSection>(i), words_[i]);
+}
+
+}  // namespace sa::dist

@@ -1,0 +1,104 @@
+// The packed per-round message plane every solver speaks.
+//
+// One outer round of every algorithm family exchanges exactly ONE
+// collective, whose payload is a schema'd, contiguous buffer:
+//
+//   [ upper(G) | Yᵀỹ | Yᵀz̃ | objective | stop-flags ]
+//    └─ kGram ─┴kDots1┴kDots2┴kObjective─┴─kStopFlags┘
+//
+// The Gram triangle and the dot blocks are the algorithm's fused payload
+// (written in one kernel call — the body span layout() returns is
+// contiguous, so la::sampled_gram_and_dots targets it directly).  The
+// trailer sections piggy-back the stopping machinery: a one-word local
+// objective partial (objective-tolerance stopping at round granularity)
+// and rank 0's wall clock (replicated wall-budget decisions), so enabling
+// those criteria costs zero extra messages — only trailing words on the
+// message the round pays for anyway.
+//
+// The buffer is arena-backed by a la::Workspace slot: it is laid out anew
+// every round but only ever grows, so steady-state rounds allocate
+// nothing.  reduce_start()/reduce_wait() wrap the communicator's
+// nonblocking pair and attribute per-section traffic to CommStats.
+//
+// Not every section is present every round: empty sections occupy zero
+// words and are skipped by the accounting.  Appending or removing trailer
+// sections never perturbs the reduced bits of the sections before them —
+// all backends combine element-wise in a fixed order — which is what lets
+// the criteria be toggled without changing the iterates (pinned by
+// tests/core/test_round_plane.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "dist/comm.hpp"
+#include "la/workspace.hpp"
+
+namespace sa::dist {
+
+class RoundMessage {
+ public:
+  /// Binds the message to a workspace slot (the arena the packed buffer
+  /// lives in).  The workspace must outlive the message.
+  explicit RoundMessage(la::Workspace& ws, std::size_t slot = 0)
+      : ws_(ws), slot_(slot) {}
+
+  RoundMessage(const RoundMessage&) = delete;
+  RoundMessage& operator=(const RoundMessage&) = delete;
+
+  /// Declares the trailer (piggy-backed) section sizes for subsequent
+  /// rounds.  Sticky: set once when the solve starts, before any layout().
+  void set_trailer_sizes(std::size_t objective_words,
+                         std::size_t stop_flag_words) {
+    trailer_objective_ = objective_words;
+    trailer_flags_ = stop_flag_words;
+  }
+
+  /// Lays out one round's message and returns the contiguous body span
+  /// [gram | dots1 | dots2] for the fused Gram+dots kernel.  Invalidates
+  /// spans from previous rounds; trailer sections are zero-initialised.
+  std::span<double> layout(std::size_t gram_words, std::size_t dots1_words,
+                           std::size_t dots2_words);
+
+  std::span<double> section(RoundSection s) {
+    const auto i = static_cast<std::size_t>(s);
+    return buffer_.subspan(offset_[i], words_[i]);
+  }
+  std::span<const double> section(RoundSection s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return std::span<const double>(buffer_).subspan(offset_[i], words_[i]);
+  }
+  std::size_t words(RoundSection s) const {
+    return words_[static_cast<std::size_t>(s)];
+  }
+  std::size_t total_words() const { return buffer_.size(); }
+
+  /// The whole packed buffer (every section) — what goes on the wire.
+  std::span<double> packed() { return buffer_; }
+
+  /// Starts the round's ONE collective (nonblocking) and attributes
+  /// per-section traffic to the communicator's CommStats.
+  void reduce_start(Communicator& comm);
+
+  /// Completes the collective; afterwards every section holds the
+  /// elementwise sum over ranks.
+  void reduce_wait(Communicator& comm) { comm.allreduce_wait(); }
+
+  /// Blocking convenience: start + wait.
+  void reduce(Communicator& comm) {
+    reduce_start(comm);
+    reduce_wait(comm);
+  }
+
+ private:
+  la::Workspace& ws_;
+  std::size_t slot_;
+  std::span<double> buffer_;
+  std::array<std::size_t, kRoundSectionCount> words_{};
+  std::array<std::size_t, kRoundSectionCount> offset_{};
+  std::size_t trailer_objective_ = 0;
+  std::size_t trailer_flags_ = 0;
+};
+
+}  // namespace sa::dist

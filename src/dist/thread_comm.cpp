@@ -1,5 +1,6 @@
 #include "dist/thread_comm.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -15,15 +16,17 @@ namespace internal {
 struct TeamAborted {};
 
 struct TeamState {
-  TeamState(int rank_count, int tree_threshold_)
+  TeamState(int rank_count, int tree_threshold_, std::size_t chunk_threshold_)
       : ranks(rank_count),
         tree_threshold(tree_threshold_),
+        tree_chunk_threshold(chunk_threshold_),
         slots(rank_count),
         acc(rank_count),
         stats(rank_count) {}
 
   const int ranks;
   const int tree_threshold;
+  const std::size_t tree_chunk_threshold;
 
   std::mutex mu;
   std::condition_variable cv;       // barrier + task dispatch
@@ -81,16 +84,40 @@ void barrier(TeamState& s) {
 
 }  // namespace internal
 
+bool ThreadComm::use_tree() const {
+  return size_ >= state_.tree_threshold;
+}
+
 void ThreadComm::do_allreduce_sum(std::span<double> data) {
   if (size_ == 1) return;  // nothing to combine, no synchronisation needed
-  if (size_ >= state_.tree_threshold) {
-    allreduce_tree(data);
+  if (use_tree()) {
+    tree_start(data);
+    tree_wait(data);
   } else {
-    allreduce_linear(data);
+    linear_start(data);
+    linear_wait(data);
   }
 }
 
-void ThreadComm::allreduce_linear(std::span<double> data) {
+void ThreadComm::do_allreduce_start(std::span<double> data) {
+  if (size_ == 1) return;
+  if (use_tree()) {
+    tree_start(data);
+  } else {
+    linear_start(data);
+  }
+}
+
+void ThreadComm::do_allreduce_wait(std::span<double> data) {
+  if (size_ == 1) return;
+  if (use_tree()) {
+    tree_wait(data);
+  } else {
+    linear_wait(data);
+  }
+}
+
+void ThreadComm::linear_start(std::span<double> data) {
   internal::TeamState& s = state_;
   const std::size_t n = data.size();
   s.slots[rank_] = data;
@@ -118,12 +145,17 @@ void ThreadComm::allreduce_linear(std::span<double> data) {
     s.scratch[i] = acc;
   }
   internal::barrier(s);
+  // From here the shared scratch holds the final sum; wait() copies it
+  // back.  Callers may run local work in between.
+}
 
-  for (std::size_t i = 0; i < n; ++i) data[i] = s.scratch[i];
+void ThreadComm::linear_wait(std::span<double> data) {
+  internal::TeamState& s = state_;
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = s.scratch[i];
   internal::barrier(s);  // keep scratch stable until every rank copied
 }
 
-void ThreadComm::allreduce_tree(std::span<double> data) {
+void ThreadComm::tree_start(std::span<double> data) {
   internal::TeamState& s = state_;
   const std::size_t n = data.size();
   const std::size_t p = static_cast<std::size_t>(size_);
@@ -146,23 +178,51 @@ void ThreadComm::allreduce_tree(std::span<double> data) {
   // absorbs partner j + step.  The pairing (and hence the summation
   // grouping) is fixed, so the result is bit-deterministic — every rank
   // later reads the same acc[0].
+  //
+  // For large payloads the within-pair element loop is chunked across the
+  // pair's subtree: every rank in [owner, owner + 2·step) has already
+  // contributed by round `step` and would otherwise idle, so each sums a
+  // disjoint chunk of the same acc[owner] += acc[owner+step] update.
+  // Every element is still combined exactly once, by the identical
+  // two-term addition — bit-for-bit the single-owner result.
+  const bool chunked = n >= s.tree_chunk_threshold;
   for (std::size_t step = 1; step < p; step <<= 1) {
-    if (r % (2 * step) == 0 && r + step < p) {
-      const std::vector<double>& partner = s.acc[r + step];
-      std::vector<double>& mine = s.acc[r];
-      for (std::size_t i = 0; i < n; ++i) mine[i] += partner[i];
+    const std::size_t group = 2 * step;
+    const std::size_t owner = r - (r % group);
+    if (owner + step < p) {  // this subtree has an absorbing pair
+      const std::vector<double>& partner = s.acc[owner + step];
+      std::vector<double>& mine = s.acc[owner];
+      if (chunked) {
+        // Helpers = all subtree ranks present in the team.
+        const std::size_t helpers = std::min(group, p - owner);
+        const std::size_t lane = r - owner;
+        const std::size_t begin = n * lane / helpers;
+        const std::size_t end = n * (lane + 1) / helpers;
+        for (std::size_t i = begin; i < end; ++i) mine[i] += partner[i];
+      } else if (r == owner) {
+        for (std::size_t i = 0; i < n; ++i) mine[i] += partner[i];
+      }
     }
     internal::barrier(s);
   }
+  // acc[0] now holds the final sum; wait() copies it back.
+}
 
-  for (std::size_t i = 0; i < n; ++i) data[i] = s.acc[0][i];
+void ThreadComm::tree_wait(std::span<double> data) {
+  internal::TeamState& s = state_;
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = s.acc[0][i];
   internal::barrier(s);  // keep acc[0] stable until every rank copied
 }
 
-ThreadTeam::ThreadTeam(int ranks, int tree_threshold) : ranks_(ranks) {
+ThreadTeam::ThreadTeam(int ranks, int tree_threshold,
+                       std::size_t tree_chunk_threshold)
+    : ranks_(ranks) {
   SA_CHECK(ranks >= 1, "ThreadTeam: need at least one rank");
   SA_CHECK(tree_threshold >= 2, "ThreadTeam: tree threshold must be >= 2");
-  state_ = std::make_unique<internal::TeamState>(ranks, tree_threshold);
+  SA_CHECK(tree_chunk_threshold >= 1,
+           "ThreadTeam: tree chunk threshold must be >= 1");
+  state_ = std::make_unique<internal::TeamState>(ranks, tree_threshold,
+                                                 tree_chunk_threshold);
   workers_.reserve(ranks);
   for (int r = 0; r < ranks; ++r)
     workers_.emplace_back([this, r] { worker_loop(r); });

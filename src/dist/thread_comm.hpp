@@ -28,6 +28,23 @@
 // ((c0+c1)+(c2+c3) vs ((c0+c1)+c2)+c3), which is why small teams, whose
 // tests pin the serial left-to-right sum, stay on the linear path.
 //
+// Chunked within-pair combine: for payloads of at least
+// tree_chunk_threshold words, the element loop of each absorbing pair is
+// split across every rank of the pair's 2^(r+1)-wide subtree — those ranks
+// are otherwise idle in round r, having already contributed their data.
+// Each helper sums a disjoint element chunk of the same acc[j] += acc[j+s]
+// update, so the summation grouping (and hence every output bit) is
+// identical to the single-owner loop; only the wall-clock of large-payload
+// rounds changes.  Small payloads stay on the single-owner loop — the
+// index arithmetic isn't worth it below the threshold.
+//
+// Both algorithms support the split-phase (nonblocking) allreduce: start()
+// performs the combine up to the point where the shared result is final,
+// wait() copies it back and releases the shared state.  Between the two,
+// callers may do unrelated local work; the input buffer must stay
+// unmodified (siblings may still read it during start(), and the result
+// overwrites it at wait()).
+//
 // Barriers block on a condition variable (no spinning), so oversubscribed
 // runs — more ranks than cores, the common case in tests — stay cheap.
 //
@@ -61,14 +78,19 @@ class ThreadComm final : public Communicator {
 
  protected:
   void do_allreduce_sum(std::span<double> data) override;
+  void do_allreduce_start(std::span<double> data) override;
+  void do_allreduce_wait(std::span<double> data) override;
 
  private:
   friend class ThreadTeam;
   ThreadComm(internal::TeamState& state, int rank, int size)
       : state_(state), rank_(rank), size_(size) {}
 
-  void allreduce_linear(std::span<double> data);
-  void allreduce_tree(std::span<double> data);
+  bool use_tree() const;
+  void linear_start(std::span<double> data);
+  void linear_wait(std::span<double> data);
+  void tree_start(std::span<double> data);
+  void tree_wait(std::span<double> data);
 
   internal::TeamState& state_;
   int rank_ = 0;
@@ -79,14 +101,22 @@ class ThreadComm final : public Communicator {
 /// the rank-ordered linear gather to the binary reduction tree.
 inline constexpr int kDefaultTreeThreshold = 16;
 
+/// Payload size (words) at and above which the tree allreduce chunks each
+/// pair's element loop across the pair's idle subtree ranks.
+inline constexpr std::size_t kDefaultTreeChunkWords = 4096;
+
 /// A pool of P worker threads acting as P communicator ranks.
 class ThreadTeam {
  public:
   /// Spawns `ranks` persistent workers (ranks >= 1).  `tree_threshold`
   /// selects the allreduce algorithm: teams of at least that many ranks
   /// use the binary reduction tree (pass 2 to force the tree everywhere,
-  /// or a huge value to pin the linear order).
-  explicit ThreadTeam(int ranks, int tree_threshold = kDefaultTreeThreshold);
+  /// or a huge value to pin the linear order).  `tree_chunk_threshold` is
+  /// the payload size (words) from which the tree's within-pair combine is
+  /// chunked across idle subtree ranks (pass 1 to force chunking, or a
+  /// huge value to pin the single-owner loop; bit-identical either way).
+  explicit ThreadTeam(int ranks, int tree_threshold = kDefaultTreeThreshold,
+                      std::size_t tree_chunk_threshold = kDefaultTreeChunkWords);
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;

@@ -5,9 +5,9 @@
 // outer iteration, a view describes the members in place — sparse members
 // as (indices, values) span pairs aliasing the already-materialised
 // CSC/CSR arrays, dense members as row pointers (into a DenseMatrix or a
-// Workspace staging area).  The descriptor arrays themselves live in a
-// la::Workspace, so building a view performs no heap allocation in steady
-// state.
+// block's persistent staged copy).  The descriptor arrays themselves live
+// in a la::Workspace, so building a view performs no heap allocation in
+// steady state.
 //
 // sampled_gram_and_dots() is the one kernel the s-step solvers need per
 // outer iteration: it computes the packed upper-triangular Gram of the

@@ -26,10 +26,6 @@ std::span<const double*> Workspace::member_rows(std::size_t k) {
   return grab(row_ptrs_, k);
 }
 
-std::span<double> Workspace::dense_stage(std::size_t n) {
-  return grab(stage_, n);
-}
-
 std::size_t Workspace::bytes_reserved() const {
   std::size_t bytes = 0;
   for (const auto& v : double_slots_) bytes += v.capacity() * sizeof(double);
@@ -38,7 +34,6 @@ std::size_t Workspace::bytes_reserved() const {
   bytes += idx_spans_.capacity() * sizeof(std::span<const std::size_t>);
   bytes += val_spans_.capacity() * sizeof(std::span<const double>);
   bytes += row_ptrs_.capacity() * sizeof(const double*);
-  bytes += stage_.capacity() * sizeof(double);
   return bytes;
 }
 

@@ -10,7 +10,7 @@
 //
 // Two kinds of storage:
 //   * named pools (`member_index_spans`, `member_value_spans`,
-//     `member_rows`, `dense_stage`) back the BatchView descriptors that
+//     `member_rows`) back the BatchView descriptors that
 //     RowBlock/ColBlock::view_* hand out — named, so view builders can
 //     never collide with solver scratch;
 //   * slot-addressed pools (`doubles`, `indices`) are general solver
@@ -53,9 +53,6 @@ class Workspace {
   /// Storage for k dense-member row pointers (BatchView::dense).
   std::span<const double*> member_rows(std::size_t k);
 
-  /// Densification staging area for dense-mode views (k·dim doubles).
-  std::span<double> dense_stage(std::size_t n);
-
   /// Total bytes currently reserved across every pool — stable in steady
   /// state, which is what the zero-allocation tests assert.
   std::size_t bytes_reserved() const;
@@ -72,7 +69,6 @@ class Workspace {
   std::vector<std::span<const std::size_t>> idx_spans_;
   std::vector<std::span<const double>> val_spans_;
   std::vector<const double*> row_ptrs_;
-  std::vector<double> stage_;
 };
 
 }  // namespace sa::la

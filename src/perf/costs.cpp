@@ -33,8 +33,10 @@ Costs accbcd_costs(const BcdParams& p) {
   Costs c;
   c.flops = h * mu * mu * f * m / pr + h * mu * mu * mu;
   c.memory = f * m * n / pr + m / pr + mu * mu + n;
+  // Single-message round: the piggy-backed trailer rides the round's one
+  // collective — H rounds of flag_words extra words, zero extra latency.
   c.latency = h * logp;
-  c.bandwidth = h * mu * mu * logp;
+  c.bandwidth = (h * mu * mu + h * static_cast<double>(p.flag_words)) * logp;
   return c;
 }
 
@@ -52,8 +54,11 @@ Costs sa_accbcd_costs(const BcdParams& p) {
   Costs c;
   c.flops = h * mu * mu * s * f * m / pr + h * mu * mu * mu;
   c.memory = f * m * n / pr + m / pr + mu * mu * s * s + n;
+  // H/s rounds, each ONE message carrying the s²µ² fused payload plus the
+  // piggy-backed trailer words.
   c.latency = (h / s) * logp;
-  c.bandwidth = h * s * mu * mu * logp;
+  c.bandwidth =
+      (h * s * mu * mu + (h / s) * static_cast<double>(p.flag_words)) * logp;
   return c;
 }
 
@@ -69,7 +74,8 @@ Costs svm_costs(const SvmParams& p) {
   c.memory = f * static_cast<double>(p.rows) * n / pr + n / pr +
              static_cast<double>(p.rows);
   c.latency = h * logp;
-  c.bandwidth = h * 2.0 * logp;  // [A_i·A_iᵀ | A_i·x] per iteration
+  // [A_i·A_iᵀ | A_i·x | trailer] per iteration — still one message.
+  c.bandwidth = h * (2.0 + static_cast<double>(p.flag_words)) * logp;
   return c;
 }
 
@@ -87,7 +93,10 @@ Costs sa_svm_costs(const SvmParams& p) {
   c.memory = f * static_cast<double>(p.rows) * n / pr + n / pr +
              static_cast<double>(p.rows) + s * s;
   c.latency = (h / s) * logp;
-  c.bandwidth = h * s * logp;  // s² words every s iterations → H·s overall
+  // s² words every s iterations → H·s overall, plus the trailer on each
+  // of the H/s single-message rounds.
+  c.bandwidth =
+      (h * s + (h / s) * static_cast<double>(p.flag_words)) * logp;
   return c;
 }
 

@@ -19,6 +19,11 @@ struct BcdParams {
   std::size_t rows = 0;        ///< m (data points)
   std::size_t cols = 0;        ///< n (features)
   int processors = 1;          ///< P
+  /// Words the piggy-backed RoundMessage trailer adds to each round's
+  /// single collective (objective partial + stop flags; 0–2 in practice).
+  /// The single-message round plane means enabled stopping criteria cost
+  /// bandwidth only — L is unchanged, W grows by flag_words per round.
+  std::size_t flag_words = 0;
 };
 
 /// The four Table I cost terms.
@@ -47,6 +52,8 @@ struct SvmParams {
   std::size_t rows = 0;        ///< m (data points)
   std::size_t cols = 0;        ///< n (features)
   int processors = 1;          ///< P
+  /// Piggy-backed trailer words per round (see BcdParams::flag_words).
+  std::size_t flag_words = 0;
 };
 
 /// SVM dual CD (Algorithm 3): per iteration one allreduce of O(1) words,

@@ -12,7 +12,9 @@
 #include "common/check.hpp"
 #include "data/rng.hpp"
 #include "dist/cost_model.hpp"
+#include "dist/round_message.hpp"
 #include "dist/thread_comm.hpp"
+#include "la/workspace.hpp"
 
 namespace sa::dist {
 namespace {
@@ -188,8 +190,8 @@ TEST_P(TreeAllreduceSweep, TreeIsDeterministicAndMatchesLinearToRounding) {
   const int p = GetParam();
   const std::size_t n = 257;
 
-  auto reduce = [&](int tree_threshold) {
-    ThreadTeam team(p, tree_threshold);
+  auto reduce = [&](int tree_threshold, std::size_t chunk_threshold) {
+    ThreadTeam team(p, tree_threshold, chunk_threshold);
     std::vector<std::vector<double>> got(p);
     team.run([&](ThreadComm& comm) {
       std::vector<double> mine = rank_contribution(comm.rank(), n);
@@ -199,10 +201,13 @@ TEST_P(TreeAllreduceSweep, TreeIsDeterministicAndMatchesLinearToRounding) {
     return got;
   };
 
-  // Force the tree (threshold 2) and pin the linear order (huge threshold).
-  const auto tree_a = reduce(2);
-  const auto tree_b = reduce(2);
-  const auto linear = reduce(1 << 20);
+  // Force the tree (threshold 2) and pin the linear order (huge
+  // threshold); run the tree both single-owner (huge chunk threshold) and
+  // chunked across idle ranks (chunk threshold 1).
+  const auto tree_a = reduce(2, std::size_t{1} << 30);
+  const auto tree_b = reduce(2, std::size_t{1} << 30);
+  const auto chunked = reduce(2, 1);
+  const auto linear = reduce(1 << 20, kDefaultTreeChunkWords);
 
   for (int r = 0; r < p; ++r) {
     ASSERT_EQ(tree_a[r].size(), n);
@@ -210,6 +215,9 @@ TEST_P(TreeAllreduceSweep, TreeIsDeterministicAndMatchesLinearToRounding) {
       // Bit-deterministic across runs and identical on every rank.
       EXPECT_EQ(tree_a[r][i], tree_b[r][i]);
       EXPECT_EQ(tree_a[r][i], tree_a[0][i]);
+      // Chunking only splits the element loop across helpers; every
+      // element is still the same two-term addition — bit-identical.
+      EXPECT_EQ(chunked[r][i], tree_a[r][i]);
       // The tree groups the summands differently, so it agrees with the
       // rank-ordered linear reduction only to rounding.
       EXPECT_NEAR(tree_a[r][i], linear[r][i],
@@ -220,6 +228,19 @@ TEST_P(TreeAllreduceSweep, TreeIsDeterministicAndMatchesLinearToRounding) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, TreeAllreduceSweep,
                          ::testing::Values(2, 3, 4, 8));
+
+TEST(TreeAllreduce, ChunkedPathEngagesAtDefaultThresholdPayloads) {
+  // A payload at the default chunk threshold, forced through the tree on
+  // an odd rank count: exact integer sums survive the chunked combine.
+  const int p = 5;
+  const std::size_t n = kDefaultTreeChunkWords;
+  ThreadTeam team(p, /*tree_threshold=*/2);
+  team.run([&](ThreadComm& comm) {
+    std::vector<double> buf(n, static_cast<double>(comm.rank() + 1));
+    comm.allreduce_sum(buf);
+    for (const double v : buf) ASSERT_EQ(v, 15.0);  // Σ 1..5
+  });
+}
 
 TEST(TreeAllreduce, DefaultThresholdEngagesTreeAtSixteenRanks) {
   // 16 ranks ≥ kDefaultTreeThreshold: exact-in-any-order payload sums
@@ -243,6 +264,173 @@ TEST(TreeAllreduce, MismatchedLengthsThrowInsteadOfCorrupting) {
                sa::PreconditionError);
 }
 
+// ---------------------------------------------------------------------
+// Nonblocking allreduce_start / allreduce_wait
+// ---------------------------------------------------------------------
+
+class NonblockingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NonblockingSweep, StartWaitMatchesBlockingBitForBit) {
+  const int p = GetParam();
+  const std::size_t n = 129;
+
+  std::vector<double> want = rank_contribution(0, n);
+  for (int r = 1; r < p; ++r) {
+    const std::vector<double> c = rank_contribution(r, n);
+    for (std::size_t i = 0; i < n; ++i) want[i] += c[i];
+  }
+
+  std::vector<std::vector<double>> got(p);
+  const auto stats = run_distributed(p, [&](Communicator& comm) {
+    std::vector<double> mine = rank_contribution(comm.rank(), n);
+    comm.allreduce_start(mine);
+    EXPECT_TRUE(comm.allreduce_pending());
+    // Overlapped local work while the reduction is in flight: must not
+    // touch the in-flight buffer.
+    double busy = 0.0;
+    for (int i = 0; i < 1000; ++i) busy += std::sqrt(static_cast<double>(i));
+    EXPECT_GT(busy, 0.0);
+    comm.allreduce_wait();
+    EXPECT_FALSE(comm.allreduce_pending());
+    got[comm.rank()] = std::move(mine);
+  });
+
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(got[r].size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(got[r][i], want[i]) << "rank " << r << " element " << i;
+  }
+  // Metering identical to the blocking call: one collective.
+  const std::size_t rounds = collective_rounds(p);
+  for (const CommStats& s : stats) {
+    EXPECT_EQ(s.collectives, 1u);
+    EXPECT_EQ(s.messages, rounds);
+    EXPECT_EQ(s.words, n * rounds);
+  }
+}
+
+TEST_P(NonblockingSweep, StartWaitMatchesBlockingThroughTheTree) {
+  const int p = GetParam();
+  if (p < 2) return;
+  const std::size_t n = 257;
+  ThreadTeam team(p, /*tree_threshold=*/2);
+
+  std::vector<std::vector<double>> blocking(p), split(p);
+  team.run([&](ThreadComm& comm) {
+    std::vector<double> mine = rank_contribution(comm.rank(), n);
+    comm.allreduce_sum(mine);
+    blocking[comm.rank()] = std::move(mine);
+  });
+  team.run([&](ThreadComm& comm) {
+    std::vector<double> mine = rank_contribution(comm.rank(), n);
+    comm.allreduce_start(mine);
+    comm.allreduce_wait();
+    split[comm.rank()] = std::move(mine);
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(split[r], blocking[r]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, NonblockingSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Nonblocking, SerialCommStartWaitIsIdentity) {
+  SerialComm comm;
+  std::vector<double> v{1.0, -2.5, 3.0};
+  const std::vector<double> original = v;
+  comm.allreduce_start(v);
+  comm.allreduce_wait();
+  EXPECT_EQ(v, original);
+  EXPECT_EQ(comm.stats().collectives, 1u);
+  EXPECT_EQ(comm.stats().messages, 0u);
+}
+
+TEST(Nonblocking, FailedStartLeavesTheCommunicatorUsable) {
+  // A backend throw during start() (mismatched lengths) must not leave a
+  // phantom operation in flight: the same communicator must accept a
+  // well-formed collective afterwards.
+  ThreadTeam team(2);
+  team.run([](ThreadComm& comm) {
+    std::vector<double> bad(comm.rank() == 0 ? 4 : 5, 1.0);
+    EXPECT_THROW(comm.allreduce_start(bad), sa::PreconditionError);
+    EXPECT_FALSE(comm.allreduce_pending());
+    std::vector<double> good(3, 1.0);
+    comm.allreduce_sum(good);
+    EXPECT_EQ(good[0], 2.0);
+  });
+}
+
+TEST(Nonblocking, MisuseIsRejected) {
+  SerialComm comm;
+  std::vector<double> a(4, 1.0), b(4, 2.0);
+  EXPECT_THROW(comm.allreduce_wait(), sa::PreconditionError);
+  comm.allreduce_start(a);
+  EXPECT_THROW(comm.allreduce_start(b), sa::PreconditionError);
+  EXPECT_THROW(comm.allreduce_sum(b), sa::PreconditionError);
+  comm.allreduce_wait();
+  comm.allreduce_sum(b);  // usable again after completion
+}
+
+// ---------------------------------------------------------------------
+// RoundMessage: schema layout, single collective, per-section accounting
+// ---------------------------------------------------------------------
+
+TEST(RoundMessage, LayoutIsContiguousInSchemaOrder) {
+  la::Workspace ws;
+  RoundMessage msg(ws);
+  msg.set_trailer_sizes(1, 1);
+  const std::span<double> body = msg.layout(6, 3, 3);
+  EXPECT_EQ(body.size(), 12u);
+  EXPECT_EQ(msg.total_words(), 14u);
+  EXPECT_EQ(msg.words(RoundSection::kGram), 6u);
+  EXPECT_EQ(msg.words(RoundSection::kObjective), 1u);
+  // Sections tile the buffer in schema order with no gaps.
+  EXPECT_EQ(msg.section(RoundSection::kGram).data(), msg.packed().data());
+  EXPECT_EQ(msg.section(RoundSection::kDots1).data(),
+            msg.packed().data() + 6);
+  EXPECT_EQ(msg.section(RoundSection::kDots2).data(),
+            msg.packed().data() + 9);
+  EXPECT_EQ(msg.section(RoundSection::kObjective).data(),
+            msg.packed().data() + 12);
+  EXPECT_EQ(msg.section(RoundSection::kStopFlags).data(),
+            msg.packed().data() + 13);
+  // Trailer starts zeroed; the body is the kernel's to overwrite.
+  EXPECT_EQ(msg.section(RoundSection::kObjective)[0], 0.0);
+  EXPECT_EQ(msg.section(RoundSection::kStopFlags)[0], 0.0);
+}
+
+TEST(RoundMessage, ReducesAllSectionsInOneCollectiveWithSectionStats) {
+  const int p = 4;
+  const std::size_t rounds = collective_rounds(p);
+  const auto stats = run_distributed(p, [&](Communicator& comm) {
+    la::Workspace ws;
+    RoundMessage msg(ws);
+    msg.set_trailer_sizes(1, 1);
+    msg.layout(3, 2, 0);
+    for (std::size_t i = 0; i < 5; ++i)
+      msg.packed()[i] = static_cast<double>(comm.rank() + 1);
+    msg.section(RoundSection::kObjective)[0] = 10.0;
+    msg.section(RoundSection::kStopFlags)[0] =
+        comm.rank() == 0 ? 7.0 : 0.0;  // rank 0's clock pattern
+    msg.reduce(comm);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_EQ(msg.packed()[i], 10.0);  // Σ 1..4
+    EXPECT_EQ(msg.section(RoundSection::kObjective)[0], 40.0);
+    EXPECT_EQ(msg.section(RoundSection::kStopFlags)[0], 7.0);
+  });
+  for (const CommStats& s : stats) {
+    EXPECT_EQ(s.collectives, 1u);  // ONE collective for the whole schema
+    EXPECT_EQ(s.messages, rounds);
+    EXPECT_EQ(s.words, 7 * rounds);
+    EXPECT_EQ(s.section(RoundSection::kGram).collectives, 1u);
+    EXPECT_EQ(s.section(RoundSection::kGram).words, 3 * rounds);
+    EXPECT_EQ(s.section(RoundSection::kDots1).words, 2 * rounds);
+    EXPECT_EQ(s.section(RoundSection::kDots2).collectives, 0u);
+    EXPECT_EQ(s.section(RoundSection::kObjective).words, rounds);
+    EXPECT_EQ(s.section(RoundSection::kStopFlags).words, rounds);
+    EXPECT_EQ(s.section(RoundSection::kStopFlags).bytes(), 8 * rounds);
+  }
+}
+
 TEST(CostModel, PricesCountersLinearly) {
   CommStats s;
   s.flops = 50;
@@ -256,6 +444,22 @@ TEST(CostModel, PricesCountersLinearly) {
   EXPECT_DOUBLE_EQ(b.latency_seconds, 10.0);
   EXPECT_DOUBLE_EQ(b.communication_seconds(), 2010.0);
   EXPECT_DOUBLE_EQ(b.total_seconds(), 2310.0);
+}
+
+TEST(CostModel, PricesRoundSectionsFromTheirWordCounters) {
+  CommStats s;
+  s.words = 100;
+  s.sections[static_cast<std::size_t>(RoundSection::kGram)].words = 90;
+  s.sections[static_cast<std::size_t>(RoundSection::kStopFlags)].words = 10;
+  const MachineParams m{"unit", 1.0, 2.0, 3.0};
+  const CostBreakdown b = price(s, m);
+  EXPECT_DOUBLE_EQ(b.section_seconds(RoundSection::kGram), 180.0);
+  EXPECT_DOUBLE_EQ(b.section_seconds(RoundSection::kStopFlags), 20.0);
+  EXPECT_DOUBLE_EQ(b.section_seconds(RoundSection::kDots1), 0.0);
+  // Sections split only the β term; α is paid once by the single message.
+  EXPECT_DOUBLE_EQ(b.section_seconds(RoundSection::kGram) +
+                       b.section_seconds(RoundSection::kStopFlags),
+                   b.bandwidth_seconds);
 }
 
 TEST(CostModel, PresetLatencyLadder) {

@@ -96,6 +96,30 @@ TEST(TableOne, RejectsInvalidParameters) {
   EXPECT_THROW(sa_accbcd_costs(p), sa::PreconditionError);
 }
 
+TEST(TableOne, PiggybackedFlagWordsAddBandwidthButNoLatency) {
+  // The single-message round plane: enabled stopping criteria ride the
+  // round's one collective as trailer words — L is unchanged, W grows by
+  // flag_words per round.
+  BcdParams p = base_bcd();
+  p.s = 10;
+  const Costs ref = sa_accbcd_costs(p);
+  p.flag_words = 2;
+  const Costs flagged = sa_accbcd_costs(p);
+  EXPECT_DOUBLE_EQ(flagged.latency, ref.latency);
+  const double h = static_cast<double>(p.iterations);
+  const double logp = 6.0;  // ceil(log2 64)
+  EXPECT_DOUBLE_EQ(flagged.bandwidth - ref.bandwidth,
+                   (h / 10.0) * 2.0 * logp);
+
+  // Classical variant: one round per iteration.
+  BcdParams c = base_bcd();
+  const Costs cref = accbcd_costs(c);
+  c.flag_words = 2;
+  const Costs cflag = accbcd_costs(c);
+  EXPECT_DOUBLE_EQ(cflag.latency, cref.latency);
+  EXPECT_DOUBLE_EQ(cflag.bandwidth - cref.bandwidth, h * 2.0 * logp);
+}
+
 SvmParams base_svm() {
   SvmParams p;
   p.iterations = 10000;
@@ -122,6 +146,17 @@ TEST(SvmCosts, SaFlopsAndBandwidthGrowWithS) {
   const Costs sa = sa_svm_costs(p);
   EXPECT_DOUBLE_EQ(sa.flops, ref.flops * 64.0);
   EXPECT_GT(sa.bandwidth, ref.bandwidth);
+}
+
+TEST(SvmCosts, PiggybackedFlagWordsAddBandwidthButNoLatency) {
+  SvmParams p = base_svm();
+  p.s = 64;
+  const Costs ref = sa_svm_costs(p);
+  p.flag_words = 1;
+  const Costs flagged = sa_svm_costs(p);
+  EXPECT_DOUBLE_EQ(flagged.latency, ref.latency);
+  EXPECT_DOUBLE_EQ(flagged.bandwidth - ref.bandwidth,
+                   (static_cast<double>(p.iterations) / 64.0) * 8.0);
 }
 
 TEST(SvmCosts, MemoryIncludesGramBuffer) {
