@@ -40,6 +40,9 @@ struct Args {
   std::size_t num_lambdas = 20; // path mode
   bool normalize = false;
   std::string trace_csv;        // write trace here when non-empty
+  std::string checkpoint;       // periodic snapshot file (rank 0 writes)
+  std::size_t checkpoint_every = 1000;  // iterations between snapshots
+  std::string resume;           // restore from this snapshot before solving
 };
 
 void print_registry() {
@@ -79,7 +82,13 @@ void print_registry() {
       "  --ranks P       thread-backed communicator ranks (default 1)\n"
       "  --lambdas N     path grid size (default 20)\n"
       "  --normalize     unit-norm columns before solving\n"
-      "  --trace-csv F   write the solver trace to CSV file F\n",
+      "  --trace-csv F   write the solver trace to CSV file F\n"
+      "  --checkpoint F  write a snapshot to F every --checkpoint-every\n"
+      "                  iterations (atomic rename; rank 0 owns the file)\n"
+      "  --checkpoint-every N  snapshot cadence (default 1000)\n"
+      "  --resume F      restore solver state from snapshot F, then\n"
+      "                  continue to -H (bitwise identical to an\n"
+      "                  uninterrupted run; pass the same solver flags)\n",
       defaults.lambda, defaults.block_size, defaults.max_iterations,
       defaults.loss == sa::core::SvmLoss::kL1 ? "l1" : "l2",
       static_cast<unsigned long long>(defaults.seed));
@@ -141,6 +150,13 @@ Args parse(int argc, char** argv) {
       args.normalize = true;
     } else if (flag == "--trace-csv") {
       args.trace_csv = value();
+    } else if (flag == "--checkpoint") {
+      args.checkpoint = value();
+    } else if (flag == "--checkpoint-every") {
+      args.checkpoint_every = std::strtoull(value(), nullptr, 10);
+      if (args.checkpoint_every == 0) usage();
+    } else if (flag == "--resume") {
+      args.resume = value();
     } else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage();
@@ -179,9 +195,15 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
   if (spec.family() == sa::core::SolverFamily::kGroupLasso)
     spec.groups = sa::core::GroupStructure::uniform(dataset.num_features(),
                                                     args.group_size);
+  if (!args.checkpoint.empty()) {
+    spec.checkpoint_path = args.checkpoint;
+    spec.checkpoint_every = args.checkpoint_every;
+  }
+  if (!args.resume.empty())
+    std::printf("resuming from %s\n", args.resume.c_str());
 
   const sa::core::SolveResult result =
-      sa::core::solve_on_ranks(dataset, spec, args.ranks);
+      sa::core::solve_on_ranks(dataset, spec, args.ranks, args.resume);
 
   const bool svm = spec.family() == sa::core::SolverFamily::kSvm;
   for (const auto& point : result.trace.points)
@@ -206,6 +228,12 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
 }
 
 int run_path(const Args& args, const sa::data::Dataset& dataset) {
+  if (!args.checkpoint.empty() || !args.resume.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint/--resume apply to single solves; "
+                 "path mode does not support them\n");
+    return 2;
+  }
   sa::core::PathOptions options;
   options.solver = args.spec;  // an explicit --solver sa-lasso is honored
   options.solver.trace_every = 0;  // the path table is the output

@@ -35,6 +35,7 @@
 #include "core/solver.hpp"
 #include "data/partition.hpp"
 #include "dist/round_message.hpp"
+#include "io/snapshot.hpp"
 #include "la/workspace.hpp"
 
 namespace sa::core::detail {
@@ -61,6 +62,18 @@ class EngineBase : public Solver {
   StopReason stop_reason() const final { return reason_; }
   const Trace& trace() const final { return trace_; }
   SolveResult finish() final;
+
+  // Snapshot/resume (see Solver's contract).  save_state writes the
+  // shared skeleton state — spec fingerprint, round/trace/stopping
+  // progress, CommStats — then delegates the family's iterates to
+  // save_engine_state; its gather traffic is excluded from the metering.
+  // load_state validates everything (algorithm id, spec fingerprint,
+  // section presence and sizes) before the first mutation, so a rejected
+  // snapshot leaves the solver untouched.
+  void save_state(io::SnapshotWriter& out) final;
+  void load_state(const io::SnapshotReader& in) final;
+  void snapshot_to_file(const std::string& path) final;
+  void restore_from_file(const std::string& path) final;
 
  protected:
   EngineBase(dist::Communicator& comm, const SolverSpec& spec);
@@ -110,6 +123,22 @@ class EngineBase : public Solver {
   void push_trace_point(std::size_t iteration, double objective,
                         const dist::CommStats& snapshot);
 
+  /// Engine snapshot hooks.  save_engine_state appends the family's own
+  /// sections: replicated vectors are written directly, partitioned
+  /// slices through gather_full (collective).  load_engine_state must
+  /// fetch and size-check every section BEFORE overwriting any state, so
+  /// a malformed snapshot leaves the engine untouched.
+  virtual void save_engine_state(io::SnapshotWriter& out) = 0;
+  virtual void load_engine_state(const io::SnapshotReader& in) = 0;
+
+  /// Collective: assembles the full-length vector whose slice
+  /// [begin, begin + local.size()) this rank owns (zero-extend + one
+  /// allreduce — exact, every other rank contributes +0).  The span is
+  /// arena-backed: valid until the next gather_full call.
+  std::span<const double> gather_full(std::span<const double> local,
+                                      std::size_t begin,
+                                      std::size_t total);
+
   dist::Communicator& comm_;
   SolverSpec spec_;  // owning copy: x0 / groups / id outlive the caller's
   Trace trace_;
@@ -118,13 +147,24 @@ class EngineBase : public Solver {
  private:
   void run_round(std::size_t s_eff);
   void check_stops_after_round();
+  void write_checkpoint();
 
   // The per-round message plane: ONE collective per outer round, with the
   // stopping criteria riding as trailer sections (sized once, up front).
+  // Slot 1 of the same arena backs gather_full's assembly buffer.
+  enum : std::size_t { kMsgSlot = 0, kGatherSlot = 1 };
   la::Workspace msg_ws_;
-  dist::RoundMessage msg_{msg_ws_};
+  dist::RoundMessage msg_{msg_ws_, kMsgSlot};
   bool piggyback_objective_ = false;
   bool piggyback_wall_ = false;
+
+  // Checkpoint-every plumbing: the writer and the tmp-path string persist
+  // across checkpoints, so the steady-state path reuses their storage
+  // (zero heap allocations after the first snapshot — asserted by
+  // tests/core/test_steady_state.cpp).
+  std::size_t since_checkpoint_ = 0;
+  io::SnapshotWriter ckpt_writer_;
+  std::string ckpt_tmp_path_;
 
   std::size_t iterations_done_ = 0;
   std::size_t since_trace_ = 0;

@@ -49,6 +49,16 @@ void SolverRegistry::add(AlgorithmInfo info) {
   algorithms_.push_back(std::move(info));
 }
 
+bool SolverRegistry::remove(std::string_view id) {
+  for (auto it = algorithms_.begin(); it != algorithms_.end(); ++it) {
+    if (it->id == id) {
+      algorithms_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 const AlgorithmInfo* SolverRegistry::find(std::string_view id) const {
   for (const AlgorithmInfo& info : algorithms_)
     if (info.id == id) return &info;
@@ -80,21 +90,25 @@ std::unique_ptr<Solver> make_solver(dist::Communicator& comm,
   return info.factory(comm, dataset, partition, spec);
 }
 
-SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec) {
+SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec,
+                  const std::string& resume_from) {
   const AlgorithmInfo& info =
       SolverRegistry::instance().require(spec.algorithm);
   dist::SerialComm comm;
   const std::size_t extent = info.axis == PartitionAxis::kRows
                                  ? dataset.num_points()
                                  : dataset.num_features();
-  return info.factory(comm, dataset, data::Partition::block(extent, 1), spec)
-      ->run();
+  const std::unique_ptr<Solver> solver =
+      info.factory(comm, dataset, data::Partition::block(extent, 1), spec);
+  if (!resume_from.empty()) solver->restore_from_file(resume_from);
+  return solver->run();
 }
 
 SolveResult solve_on_ranks(const data::Dataset& dataset,
-                           const SolverSpec& spec, int ranks) {
+                           const SolverSpec& spec, int ranks,
+                           const std::string& resume_from) {
   SA_CHECK(ranks >= 1, "solve_on_ranks: ranks must be >= 1");
-  if (ranks == 1) return solve(dataset, spec);
+  if (ranks == 1) return solve(dataset, spec, resume_from);
   const AlgorithmInfo& info =
       SolverRegistry::instance().require(spec.algorithm);
   const std::size_t extent = info.axis == PartitionAxis::kRows
@@ -104,7 +118,10 @@ SolveResult solve_on_ranks(const data::Dataset& dataset,
   SolveResult result;
   std::mutex lock;
   dist::run_distributed(ranks, [&](dist::Communicator& comm) {
-    SolveResult r = info.factory(comm, dataset, part, spec)->run();
+    const std::unique_ptr<Solver> solver =
+        info.factory(comm, dataset, part, spec);
+    if (!resume_from.empty()) solver->restore_from_file(resume_from);
+    SolveResult r = solver->run();
     if (comm.rank() == 0) {
       std::scoped_lock guard(lock);
       result = std::move(r);

@@ -57,6 +57,10 @@ class SolverRegistry {
   /// any concurrent make_solver/find traffic (see class comment).
   void add(AlgorithmInfo info);
 
+  /// Unregisters an algorithm; returns false when `id` was not present.
+  /// Same thread-safety caveat as add().
+  bool remove(std::string_view id);
+
   /// nullptr when `id` is not registered.
   const AlgorithmInfo* find(std::string_view id) const;
 
@@ -82,15 +86,21 @@ std::unique_ptr<Solver> make_solver(dist::Communicator& comm,
                                     const SolverSpec& spec);
 
 /// Serial convenience (P = 1): builds the trivial partition on the right
-/// axis and runs to completion.
-SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec);
+/// axis and runs to completion.  A non-empty `resume_from` restores the
+/// solver from that snapshot file before running (the continued solve is
+/// bitwise identical to an uninterrupted one — see io/snapshot.hpp).
+SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec,
+                  const std::string& resume_from = "");
 
 /// Multi-rank convenience: runs `spec` on `ranks` thread-backed
 /// communicator ranks (block partition on the algorithm's axis) and
 /// returns rank 0's result (results are replicated across ranks).
-/// `ranks == 1` degenerates to solve().
+/// `ranks == 1` degenerates to solve().  A non-empty `resume_from`
+/// restores every rank from the snapshot (rank 0 reads, the bytes travel
+/// through the communicator) before running.
 SolveResult solve_on_ranks(const data::Dataset& dataset,
-                           const SolverSpec& spec, int ranks);
+                           const SolverSpec& spec, int ranks,
+                           const std::string& resume_from = "");
 
 /// Sorted ids of every registered algorithm.
 std::vector<std::string> registered_algorithms();

@@ -30,6 +30,7 @@ class GroupLassoEngine final : public detail::EngineBase {
       : EngineBase(comm, spec),
         n_(dataset.num_features()),
         block_(dataset, rows, comm.rank()),
+        rows_(rows),
         rng_(spec.seed),
         x_(n_, 0.0),
         res_(block_.local_rows()),
@@ -217,8 +218,30 @@ class GroupLassoEngine final : public detail::EngineBase {
 
   void assemble(SolveResult& out) override { out.x = x_; }
 
+  // --- Snapshot/resume: the replicated iterate, the partitioned residual
+  // gathered to full length (its accumulated bits, not a recomputation),
+  // and the group sampler's generator state. ---
+  void save_engine_state(io::SnapshotWriter& out) override {
+    out.add_doubles("group-lasso/x", x_);
+    out.add_doubles("group-lasso/res",
+                    gather_full(res_, rows_.begin(comm_.rank()),
+                                rows_.total()));
+    out.add_u64("group-lasso/rng", rng_.state());
+  }
+
+  void load_engine_state(const io::SnapshotReader& in) override {
+    const std::span<const double> x = in.doubles("group-lasso/x", n_);
+    const std::span<const double> res =
+        in.doubles("group-lasso/res", rows_.total());
+    const std::uint64_t rng = in.word("group-lasso/rng");
+    la::copy(x, x_);
+    la::copy(res.subspan(rows_.begin(comm_.rank()), res_.size()), res_);
+    rng_.set_state(rng);
+  }
+
   const std::size_t n_;
   RowBlock block_;
+  const data::Partition rows_;
   data::SplitMix64 rng_;
 
   std::vector<double> x_;

@@ -39,6 +39,7 @@ class LassoEngine final : public detail::EngineBase {
         prox_(detail::ProxSpec{spec.penalty, spec.lambda,
                                spec.elastic_net_l1, spec.elastic_net_l2}),
         block_(dataset, rows, comm.rank()),
+        rows_(rows),
         sampler_(n_, mu_, spec.seed),
         z_(n_, 0.0),
         y_(n_, 0.0),
@@ -287,10 +288,57 @@ class LassoEngine final : public detail::EngineBase {
     write_current_x(out.x);
   }
 
+  // --- Snapshot/resume: the replicated iterates (z, y, θ), the
+  // partitioned residual images gathered to full length (recomputing
+  // them from z on restore would round differently than the incremental
+  // updates — bitwise resume requires the accumulated bits), the pending
+  // table (all-zero between rounds by invariant, serialized for
+  // robustness), and the sampler position. ---
+  void save_engine_state(io::SnapshotWriter& out) override {
+    out.add_doubles("lasso/z", z_);
+    out.add_doubles("lasso/y", y_);
+    out.add_double("lasso/theta", theta_);
+    out.add_doubles("lasso/z_img",
+                    gather_full(z_img_, rows_.begin(comm_.rank()),
+                                rows_.total()));
+    out.add_doubles("lasso/y_img",
+                    gather_full(y_img_, rows_.begin(comm_.rank()),
+                                rows_.total()));
+    out.add_doubles("lasso/pending", pending_);
+    out.add_u64("lasso/sampler_rng", sampler_.rng_state());
+    out.begin_u64s("lasso/sampler_perm", n_);
+    for (const std::size_t v : sampler_.permutation()) out.push_u64(v);
+  }
+
+  void load_engine_state(const io::SnapshotReader& in) override {
+    const std::span<const double> z = in.doubles("lasso/z", n_);
+    const std::span<const double> y = in.doubles("lasso/y", n_);
+    const double theta = in.real("lasso/theta");
+    const std::span<const double> z_img =
+        in.doubles("lasso/z_img", rows_.total());
+    const std::span<const double> y_img =
+        in.doubles("lasso/y_img", rows_.total());
+    const std::span<const double> pending =
+        in.doubles("lasso/pending", n_);
+    const std::uint64_t rng = in.word("lasso/sampler_rng");
+    const std::span<const std::uint64_t> perm =
+        in.u64s("lasso/sampler_perm", n_);
+    const std::vector<std::size_t> perm_indices(perm.begin(), perm.end());
+    sampler_.restore(rng, perm_indices);  // validates before mutating
+    la::copy(z, z_);
+    la::copy(y, y_);
+    theta_ = theta;
+    const std::size_t begin = rows_.begin(comm_.rank());
+    la::copy(z_img.subspan(begin, z_img_.size()), z_img_);
+    la::copy(y_img.subspan(begin, y_img_.size()), y_img_);
+    la::copy(pending, pending_);
+  }
+
   const std::size_t n_;
   const std::size_t mu_;
   const detail::ProxSpec prox_;
   RowBlock block_;
+  const data::Partition rows_;
   data::CoordinateSampler sampler_;
 
   // Replicated / partitioned state exactly as in Algorithm 1: x_h =

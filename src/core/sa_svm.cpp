@@ -147,6 +147,26 @@ class SvmEngine final : public detail::EngineBase {
     out.alpha = alpha_;
   }
 
+  // --- Snapshot/resume: the replicated dual iterate, the partitioned
+  // primal slice gathered to full length (accumulated bits), and the
+  // sample generator state. ---
+  void save_engine_state(io::SnapshotWriter& out) override {
+    out.add_doubles("svm/alpha", alpha_);
+    out.add_doubles("svm/x", gather_full(x_loc_,
+                                         cols_.begin(comm_.rank()),
+                                         cols_.total()));
+    out.add_u64("svm/rng", rng_.state());
+  }
+
+  void load_engine_state(const io::SnapshotReader& in) override {
+    const std::span<const double> alpha = in.doubles("svm/alpha", m_);
+    const std::span<const double> x = in.doubles("svm/x", cols_.total());
+    const std::uint64_t rng = in.word("svm/rng");
+    la::copy(alpha, alpha_);
+    la::copy(x.subspan(cols_.begin(comm_.rank()), x_loc_.size()), x_loc_);
+    rng_.set_state(rng);
+  }
+
   const std::size_t n_;
   const std::size_t m_;
   const SvmConstants constants_;

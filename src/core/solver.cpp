@@ -1,13 +1,17 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <string_view>
 #include <utility>
 
 #include "common/check.hpp"
 #include "core/engine.hpp"
+#include "io/snapshot.hpp"
+#include "la/vector_ops.hpp"
 
 namespace sa::core {
 
@@ -89,6 +93,12 @@ SolverSpec& SolverSpec::with_wall_clock_budget(double seconds) {
   wall_clock_budget = seconds;
   return *this;
 }
+SolverSpec& SolverSpec::with_checkpoint(std::string path,
+                                        std::size_t every_n) {
+  checkpoint_path = std::move(path);
+  checkpoint_every = every_n;
+  return *this;
+}
 
 bool SolverSpec::is_sa() const {
   return std::string_view(algorithm).substr(0, 3) == "sa-";
@@ -112,6 +122,9 @@ void SolverSpec::validate(const data::Dataset& dataset) const {
            "SolverSpec: objective_tolerance must be >= 0");
   SA_CHECK(wall_clock_budget >= 0.0,
            "SolverSpec: wall_clock_budget must be >= 0");
+  SA_CHECK((checkpoint_every > 0) == !checkpoint_path.empty(),
+           "SolverSpec: set checkpoint_path and checkpoint_every together "
+           "(or neither)");
   if (is_sa()) SA_CHECK(s >= 1, "SolverSpec: s must be >= 1");
   SA_CHECK(gap_tolerance == 0.0 || fam == SolverFamily::kSvm,
            "SolverSpec: gap_tolerance applies to the SVM family only");
@@ -143,6 +156,40 @@ SolveResult Solver::run() {
   while (step(std::numeric_limits<std::size_t>::max()) > 0) {
   }
   return finish();
+}
+
+// Defaults keep third-party Solver implementations registered through
+// SolverRegistry::add compiling: snapshots are opt-in for them, built-in
+// for every EngineBase family.
+void Solver::save_state(io::SnapshotWriter& /*out*/) {
+  throw io::SnapshotError("snapshot: this solver type does not support "
+                          "save_state");
+}
+
+void Solver::load_state(const io::SnapshotReader& /*in*/) {
+  throw io::SnapshotError("snapshot: this solver type does not support "
+                          "load_state");
+}
+
+std::vector<std::uint8_t> Solver::snapshot() {
+  io::SnapshotWriter writer;
+  save_state(writer);
+  const std::span<const std::uint8_t> image = writer.finalize();
+  return std::vector<std::uint8_t>(image.begin(), image.end());
+}
+
+void Solver::restore(std::span<const std::uint8_t> bytes) {
+  load_state(io::SnapshotReader::parse(bytes));
+}
+
+void Solver::snapshot_to_file(const std::string& /*path*/) {
+  throw io::SnapshotError("snapshot: this solver type does not support "
+                          "snapshot_to_file");
+}
+
+void Solver::restore_from_file(const std::string& /*path*/) {
+  throw io::SnapshotError("snapshot: this solver type does not support "
+                          "restore_from_file");
 }
 
 namespace detail {
@@ -189,6 +236,7 @@ std::size_t EngineBase::step(std::size_t iterations) {
     run_round(s_eff);
     iterations_done_ += s_eff;
     since_trace_ += s_eff;
+    since_checkpoint_ += s_eff;
     advanced += s_eff;
     trace_.iterations_run = iterations_done_;
     if (spec_.trace_every > 0 && since_trace_ >= spec_.trace_every) {
@@ -197,6 +245,11 @@ std::size_t EngineBase::step(std::size_t iterations) {
       check_stops_after_round();
     }
     if (observer_) observer_(iterations_done_);
+    if (spec_.checkpoint_every > 0 &&
+        since_checkpoint_ >= spec_.checkpoint_every) {
+      write_checkpoint();
+      since_checkpoint_ = 0;
+    }
   }
   return advanced;
 }
@@ -308,6 +361,280 @@ SolveResult EngineBase::finish() {
   out.trace.total_wall_seconds = seconds_since(start_);
   out.stats = out.trace.final_stats;
   return out;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / resume
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// CommStats on the wire: the five scalar counters followed by
+/// (collectives, words) per RoundMessage section.
+constexpr std::size_t kStatsWords = 5 + 2 * dist::kRoundSectionCount;
+
+void push_stats_words(io::SnapshotWriter& out, const dist::CommStats& s) {
+  out.push_u64(s.flops);
+  out.push_u64(s.replicated_flops);
+  out.push_u64(s.messages);
+  out.push_u64(s.words);
+  out.push_u64(s.collectives);
+  for (const dist::SectionTraffic& t : s.sections) {
+    out.push_u64(t.collectives);
+    out.push_u64(t.words);
+  }
+}
+
+dist::CommStats stats_from_words(std::span<const std::uint64_t> w) {
+  dist::CommStats s;
+  s.flops = w[0];
+  s.replicated_flops = w[1];
+  s.messages = w[2];
+  s.words = w[3];
+  s.collectives = w[4];
+  for (std::size_t i = 0; i < dist::kRoundSectionCount; ++i) {
+    s.sections[i].collectives = w[5 + 2 * i];
+    s.sections[i].words = w[6 + 2 * i];
+  }
+  return s;
+}
+
+void require_match_u64(const char* what, std::uint64_t snapshot_value,
+                       std::uint64_t solver_value) {
+  if (snapshot_value == solver_value) return;
+  std::ostringstream os;
+  os << "snapshot: spec mismatch — " << what << " is " << snapshot_value
+     << " in the snapshot but " << solver_value << " in this solver";
+  throw io::SnapshotError(os.str());
+}
+
+void require_match_real(const char* what, double snapshot_value,
+                        double solver_value) {
+  if (snapshot_value == solver_value) return;
+  std::ostringstream os;
+  os << "snapshot: spec mismatch — " << what << " is " << snapshot_value
+     << " in the snapshot but " << solver_value << " in this solver";
+  throw io::SnapshotError(os.str());
+}
+
+}  // namespace
+
+void EngineBase::save_state(io::SnapshotWriter& out) {
+  SA_CHECK(!result_taken_,
+           "Solver::save_state: the solver is spent (finish() was called)");
+  const dist::CommStats at_save = comm_.stats();
+  out.reset(spec_.algorithm);
+
+  // Spec fingerprint: resuming under a configuration that changes the
+  // math (different λ, depth, block size, groups, …) would silently fork
+  // the trajectory, so the structural knobs are pinned and verified at
+  // load.  max_iterations and the stopping tolerances are deliberately
+  // NOT pinned — extending H or tightening a tolerance on resume is the
+  // point of checkpointing.
+  out.begin_u64s("core/spec_words", 8);
+  out.push_u64(spec_.unroll_depth());
+  out.push_u64(spec_.block_size);
+  out.push_u64(static_cast<std::uint64_t>(spec_.penalty));
+  out.push_u64(spec_.accelerated ? 1 : 0);
+  out.push_u64(static_cast<std::uint64_t>(spec_.loss));
+  out.push_u64(spec_.groups.num_groups());
+  out.push_u64(io::fnv1a_words(spec_.groups.offsets));
+  out.push_u64(spec_.seed);
+  out.begin_doubles("core/spec_reals", 3);
+  out.push_double(spec_.lambda);
+  out.push_double(spec_.elastic_net_l1);
+  out.push_double(spec_.elastic_net_l2);
+
+  // Round-loop and stopping-criterion progress.
+  out.begin_u64s("core/state_words", 8);
+  out.push_u64(iterations_done_);
+  out.push_u64(since_trace_);
+  out.push_u64(first_round_ ? 1 : 0);
+  out.push_u64(done_ ? 1 : 0);
+  out.push_u64(static_cast<std::uint64_t>(reason_));
+  out.push_u64(have_prev_objective_ ? 1 : 0);
+  out.push_u64(have_prev_round_objective_ ? 1 : 0);
+  out.push_u64(prev_round_objective_iter_);
+  out.begin_doubles("core/state_reals", 3);
+  out.push_double(prev_objective_);
+  out.push_double(prev_round_objective_);
+  out.push_double(seconds_since(start_));
+
+  // This rank's metering and instrumented trace (rank 0's copy is the one
+  // a file carries; ranks restoring a foreign image adopt its counters —
+  // results are reported from rank 0).
+  out.begin_u64s("core/stats", kStatsWords);
+  push_stats_words(out, at_save);
+  const std::size_t points = trace_.points.size();
+  out.begin_u64s("core/trace_iterations", points);
+  for (const TracePoint& p : trace_.points) out.push_u64(p.iteration);
+  out.begin_doubles("core/trace_objectives", points);
+  for (const TracePoint& p : trace_.points) out.push_double(p.objective);
+  out.begin_doubles("core/trace_wall", points);
+  for (const TracePoint& p : trace_.points) out.push_double(p.wall_seconds);
+  out.begin_u64s("core/trace_stats", points * kStatsWords);
+  for (const TracePoint& p : trace_.points) push_stats_words(out, p.stats);
+
+  save_engine_state(out);
+  // The engine gathers ride the communicator but are instrumentation,
+  // not solver traffic: exclude them, like record_trace_point does.
+  comm_.set_stats(at_save);
+}
+
+void EngineBase::load_state(const io::SnapshotReader& in) {
+  SA_CHECK(!result_taken_,
+           "Solver::load_state: the solver is spent (finish() was called)");
+  if (in.algorithm() != spec_.algorithm) {
+    throw io::SnapshotError("snapshot: algorithm mismatch — the snapshot "
+                            "was taken by '" +
+                            in.algorithm() + "' but this solver is '" +
+                            spec_.algorithm + "'");
+  }
+  const std::span<const std::uint64_t> spec_words =
+      in.u64s("core/spec_words", 8);
+  require_match_u64("unrolling depth", spec_words[0], spec_.unroll_depth());
+  require_match_u64("block size", spec_words[1], spec_.block_size);
+  require_match_u64("penalty", spec_words[2],
+                    static_cast<std::uint64_t>(spec_.penalty));
+  require_match_u64("acceleration", spec_words[3],
+                    spec_.accelerated ? 1 : 0);
+  require_match_u64("SVM loss", spec_words[4],
+                    static_cast<std::uint64_t>(spec_.loss));
+  require_match_u64("group count", spec_words[5],
+                    spec_.groups.num_groups());
+  require_match_u64("group offsets hash", spec_words[6],
+                    io::fnv1a_words(spec_.groups.offsets));
+  require_match_u64("seed", spec_words[7], spec_.seed);
+  const std::span<const double> spec_reals = in.doubles("core/spec_reals", 3);
+  require_match_real("lambda", spec_reals[0], spec_.lambda);
+  require_match_real("elastic-net l1", spec_reals[1], spec_.elastic_net_l1);
+  require_match_real("elastic-net l2", spec_reals[2], spec_.elastic_net_l2);
+
+  const std::span<const std::uint64_t> state_words =
+      in.u64s("core/state_words", 8);
+  if (state_words[4] >
+      static_cast<std::uint64_t>(StopReason::kWallClockBudget)) {
+    throw io::SnapshotError("snapshot: invalid stop reason value");
+  }
+  const std::span<const double> state_reals =
+      in.doubles("core/state_reals", 3);
+  const std::span<const std::uint64_t> stats_words =
+      in.u64s("core/stats", kStatsWords);
+  const std::span<const std::uint64_t> trace_iters =
+      in.u64s("core/trace_iterations");
+  const std::size_t points = trace_iters.size();
+  const std::span<const double> trace_objs =
+      in.doubles("core/trace_objectives", points);
+  const std::span<const double> trace_wall =
+      in.doubles("core/trace_wall", points);
+  const std::span<const std::uint64_t> trace_stats =
+      in.u64s("core/trace_stats", points * kStatsWords);
+
+  // The engine hook validates its own sections before mutating, so any
+  // throw up to here leaves the whole solver untouched.
+  load_engine_state(in);
+
+  // ---- commit the skeleton ----
+  iterations_done_ = state_words[0];
+  since_trace_ = state_words[1];
+  first_round_ = state_words[2] != 0;
+  done_ = state_words[3] != 0;
+  reason_ = static_cast<StopReason>(state_words[4]);
+  have_prev_objective_ = state_words[5] != 0;
+  have_prev_round_objective_ = state_words[6] != 0;
+  prev_round_objective_iter_ = state_words[7];
+  prev_objective_ = state_reals[0];
+  prev_round_objective_ = state_reals[1];
+  // Wall clock resumes from the saved elapsed time, so wall-budget
+  // stopping accounts for the pre-interruption compute.
+  start_ = EngineClock::now() -
+           std::chrono::duration_cast<EngineClock::duration>(
+               std::chrono::duration<double>(state_reals[2]));
+  trace_.points.clear();
+  trace_.points.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    TracePoint p;
+    p.iteration = trace_iters[i];
+    p.objective = trace_objs[i];
+    p.wall_seconds = trace_wall[i];
+    p.stats =
+        stats_from_words(trace_stats.subspan(i * kStatsWords, kStatsWords));
+    trace_.points.push_back(p);
+  }
+  trace_.iterations_run = iterations_done_;
+  // Re-arm the trailer schema the original solve's first step() chose
+  // (recomputed from the CURRENT spec, so a resumed run may toggle
+  // criteria — the reduced bits of the body sections are unaffected).  A
+  // pre-first-round snapshot leaves it to step().
+  if (!first_round_) {
+    piggyback_objective_ =
+        spec_.objective_tolerance > 0.0 && has_round_objective();
+    piggyback_wall_ = spec_.wall_clock_budget > 0.0;
+    msg_.set_trailer_sizes(piggyback_objective_ ? 1 : 0,
+                           piggyback_wall_ ? 1 : 0);
+  }
+  since_checkpoint_ = 0;
+  comm_.set_stats(stats_from_words(stats_words));
+}
+
+std::span<const double> EngineBase::gather_full(
+    std::span<const double> local, std::size_t begin, std::size_t total) {
+  SA_CHECK(begin + local.size() <= total,
+           "EngineBase::gather_full: slice exceeds the global extent");
+  const std::span<double> full = msg_ws_.doubles(kGatherSlot, total);
+  la::fill(full, 0.0);
+  la::copy(local, full.subspan(begin, local.size()));
+  comm_.allreduce_sum(full);
+  return full;
+}
+
+void EngineBase::snapshot_to_file(const std::string& path) {
+  io::SnapshotWriter writer;
+  save_state(writer);
+  if (comm_.rank() == 0) io::write_snapshot_file(writer, path);
+}
+
+void EngineBase::restore_from_file(const std::string& path) {
+  const dist::CommStats entry = comm_.stats();
+  try {
+    std::vector<std::uint8_t> bytes;
+    std::string read_error;
+    if (comm_.rank() == 0) {
+      try {
+        bytes = io::read_snapshot_bytes(path);
+      } catch (const io::SnapshotError& error) {
+        read_error = error.what();
+        bytes.clear();
+      }
+    }
+    comm_.broadcast_bytes(bytes, 0);
+    if (bytes.empty()) {
+      throw io::SnapshotError(
+          !read_error.empty()
+              ? read_error
+              : "snapshot: rank 0 could not read '" + path + "'");
+    }
+    restore(bytes);
+  } catch (...) {
+    // A rejected restore leaves the solver untouched — including the
+    // metering the broadcast just charged.
+    comm_.set_stats(entry);
+    throw;
+  }
+}
+
+void EngineBase::write_checkpoint() {
+  save_state(ckpt_writer_);
+  if (comm_.rank() != 0) return;
+  if (ckpt_tmp_path_.empty()) {
+    // Built once; later checkpoints reuse the string (zero-allocation
+    // steady state).
+    ckpt_tmp_path_.reserve(spec_.checkpoint_path.size() + 4);
+    ckpt_tmp_path_ = spec_.checkpoint_path;
+    ckpt_tmp_path_ += ".tmp";
+  }
+  io::write_snapshot_file(ckpt_writer_, spec_.checkpoint_path,
+                          ckpt_tmp_path_);
 }
 
 SolverSpec to_spec(const LassoOptions& options, std::size_t s) {

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@
 #include "core/trace.hpp"
 #include "data/dataset.hpp"
 #include "dist/comm.hpp"
+
+namespace sa::io {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace sa::io
 
 namespace sa::core {
 
@@ -109,6 +115,21 @@ struct SolverSpec {
                                      ///< round durations — the price of
                                      ///< zero extra messages.
 
+  // -- checkpointing ---------------------------------------------------
+  // When both are set, the solver writes a snapshot of its complete state
+  // to checkpoint_path every checkpoint_every inner iterations (rounded up
+  // to round boundaries — rounds are atomic).  Rank 0 owns the file and
+  // writes it atomically (tmp + rename), so an interrupted run always
+  // leaves either the previous or the new snapshot, never a torn one;
+  // partitioned state is gathered through the Communicator, so the file
+  // is rank-count independent.  Resume with Solver::restore_from_file (or
+  // `sa_opt_cli --resume`): the continued solve is bitwise identical to an
+  // uninterrupted run.  The steady-state checkpoint path reuses its
+  // buffers and performs no heap allocation.
+  std::string checkpoint_path;       ///< snapshot file ("" = off)
+  std::size_t checkpoint_every = 0;  ///< iterations between snapshots
+                                     ///< (0 = off; set both or neither)
+
   // -- builder-style construction ------------------------------------
   static SolverSpec make(std::string algorithm_id);
   SolverSpec& with_lambda(double v);
@@ -125,6 +146,7 @@ struct SolverSpec {
   SolverSpec& with_objective_tolerance(double tol);
   SolverSpec& with_gap_tolerance(double tol);
   SolverSpec& with_wall_clock_budget(double seconds);
+  SolverSpec& with_checkpoint(std::string path, std::size_t every_n);
 
   /// True for the synchronization-avoiding ids ("sa-" prefix).
   bool is_sa() const;
@@ -187,6 +209,45 @@ class Solver {
 
   /// step() until a stopping criterion fires, then finish().
   SolveResult run();
+
+  // -- snapshot / resume ----------------------------------------------
+  // A snapshot captures the complete solver state between rounds —
+  // iterates, RNG/sampler position, pending tables, trace, CommStats,
+  // and stopping-criterion progress — such that a fresh Solver built from
+  // the same spec and dataset, restored from the snapshot, continues the
+  // solve bitwise identically to one that was never interrupted
+  // (asserted for every registered algorithm by
+  // tests/io/test_snapshot_resume.cpp; wall-clock readings are the one
+  // quantity that is measured, not replayed).  save_state/snapshot and
+  // the *_to_file/*_from_file variants are collective: call them on every
+  // rank in lockstep.  Partitioned state is gathered to full length, so
+  // the image is rank-count independent; the in-memory image holds THIS
+  // rank's trace counters, the file rank 0's.  The engine overrides
+  // below; the base defaults throw io::SnapshotError for solver types
+  // that opt out.
+
+  /// Appends the solver's state to `out` (the writer is reset first).
+  virtual void save_state(io::SnapshotWriter& out);
+
+  /// Restores state from a parsed snapshot.  Throws io::SnapshotError —
+  /// naming the defect — on algorithm/spec mismatch or malformed
+  /// sections, leaving the solver untouched.
+  virtual void load_state(const io::SnapshotReader& in);
+
+  /// save_state serialized to a validated byte image.
+  std::vector<std::uint8_t> snapshot();
+
+  /// Parses `bytes` (magic/version/checksum validated) and load_state()s.
+  void restore(std::span<const std::uint8_t> bytes);
+
+  /// Collective: every rank serializes, rank 0 writes `path` atomically
+  /// (tmp + rename).
+  virtual void snapshot_to_file(const std::string& path);
+
+  /// Collective: rank 0 reads `path`, the bytes are broadcast through the
+  /// communicator, every rank restores.  On failure the solver (and its
+  /// metering) is left untouched.
+  virtual void restore_from_file(const std::string& path);
 
   /// Installs a per-round observer (replaces any previous one).
   void set_observer(RoundObserver observer) {

@@ -1,5 +1,6 @@
 #include "data/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -34,6 +35,22 @@ std::vector<std::size_t> CoordinateSampler::next() {
   std::vector<std::size_t> out(block_size_);
   next_into(out);
   return out;
+}
+
+void CoordinateSampler::restore(std::uint64_t rng_state,
+                                std::span<const std::size_t> perm) {
+  const std::size_t n = perm_.size();
+  SA_CHECK(perm.size() == n,
+           "CoordinateSampler::restore: permutation has the wrong length");
+  std::vector<bool> seen(n, false);
+  for (const std::size_t v : perm) {
+    SA_CHECK(v < n && !seen[v],
+             "CoordinateSampler::restore: input is not a permutation of "
+             "[0, n)");
+    seen[v] = true;
+  }
+  rng_.set_state(rng_state);
+  std::copy(perm.begin(), perm.end(), perm_.begin());
 }
 
 void CoordinateSampler::next_into(std::span<std::size_t> out) {

@@ -46,6 +46,16 @@ class SplitMix64 {
   /// Standard normal deviate (Box–Muller, one value per call pair cached).
   double next_normal();
 
+  /// Raw generator state, for checkpoint/resume.  set_state() also clears
+  /// the Box–Muller cache, so a restored generator replays the next_u64 /
+  /// next_below sequence exactly; interleaved next_normal sequences resume
+  /// at the next fresh pair.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) {
+    state_ = state;
+    has_cached_ = false;
+  }
+
  private:
   std::uint64_t state_;
   bool has_cached_ = false;
@@ -74,6 +84,16 @@ class CoordinateSampler {
   /// must have exactly block_size() entries.  Same index sequence as
   /// next() — the two can be mixed freely.
   void next_into(std::span<std::size_t> out);
+
+  /// Checkpoint/resume surface: the sampler's position is its generator
+  /// state plus the persistent permutation the partial Fisher–Yates
+  /// shuffles act on.
+  std::uint64_t rng_state() const { return rng_.state(); }
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+
+  /// Restores a saved position.  `perm` must be a permutation of [0, n)
+  /// of length n(); validated before any state is overwritten.
+  void restore(std::uint64_t rng_state, std::span<const std::size_t> perm);
 
  private:
   std::size_t block_size_;

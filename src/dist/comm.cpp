@@ -1,5 +1,7 @@
 #include "dist/comm.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace sa::dist {
@@ -53,6 +55,30 @@ void Communicator::allreduce_wait() {
   do_allreduce_wait(pending_);
   pending_active_ = false;
   pending_ = std::span<double>();
+}
+
+void Communicator::broadcast_bytes(std::vector<std::uint8_t>& bytes,
+                                   int root) {
+  SA_CHECK(root >= 0 && root < size(),
+           "Communicator::broadcast_bytes: root out of range");
+  if (size() == 1) return;
+  const bool is_root = rank() == root;
+  const double length_word =
+      is_root ? static_cast<double>(bytes.size()) : 0.0;
+  const auto total =
+      static_cast<std::size_t>(allreduce_sum_scalar(length_word));
+  if (!is_root) bytes.assign(total, 0);
+
+  constexpr std::size_t kChunkBytes = 1 << 16;
+  std::vector<double> chunk(std::min(total, kChunkBytes));
+  for (std::size_t offset = 0; offset < total; offset += kChunkBytes) {
+    const std::size_t count = std::min(kChunkBytes, total - offset);
+    for (std::size_t i = 0; i < count; ++i)
+      chunk[i] = is_root ? static_cast<double>(bytes[offset + i]) : 0.0;
+    allreduce_sum(std::span<double>(chunk.data(), count));
+    for (std::size_t i = 0; i < count; ++i)
+      bytes[offset + i] = static_cast<std::uint8_t>(chunk[i]);
+  }
 }
 
 void Communicator::do_allreduce_start(std::span<double> /*data*/) {

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -127,6 +128,15 @@ class Communicator {
 
   /// True between allreduce_start() and allreduce_wait().
   bool allreduce_pending() const { return pending_active_; }
+
+  /// Collective: replicates `bytes` from rank `root` to every rank (the
+  /// snapshot subsystem's scatter — rank 0 owns the file, the payload
+  /// travels through the communicator, so every backend inherits resume
+  /// support with no format changes).  Built on the summing allreduce:
+  /// each byte rides as one exactly-representable double, non-root ranks
+  /// contribute zeros.  Non-root buffers are resized to the root's size.
+  /// Call on every rank with the same `root`.
+  void broadcast_bytes(std::vector<std::uint8_t>& bytes, int root = 0);
 
   /// Metered counters accumulated so far on this rank.
   const CommStats& stats() const { return stats_; }

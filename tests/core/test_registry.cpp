@@ -1,0 +1,71 @@
+// Registry determinism: registered_algorithms() is pinned to a sorted,
+// stable order.  Resume-by-id, the CLI loops, the bench drivers, and the
+// snapshot conformance sweep all iterate the registry — none of them may
+// depend on registration (or map-iteration) order.
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace sa::core {
+namespace {
+
+TEST(RegistryOrder, IdsAreExactlyTheSixBuiltinsSorted) {
+  const std::vector<std::string> expected = {
+      "group-lasso", "lasso", "sa-group-lasso", "sa-lasso", "sa-svm",
+      "svm"};
+  const std::vector<std::string> ids = registered_algorithms();
+  EXPECT_EQ(ids, expected);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(RegistryOrder, RepeatedCallsAreDeterministic) {
+  const std::vector<std::string> first = registered_algorithms();
+  EXPECT_EQ(first, registered_algorithms());
+  EXPECT_EQ(first, SolverRegistry::instance().ids());
+}
+
+TEST(RegistryOrder, CustomRegistrationsKeepTheOrderSorted) {
+  // A plug-in id that sorts before every builtin and one that sorts
+  // after; ids() must stay sorted regardless of registration order.  The
+  // registry is process-global, so the plug-ins are removed on every
+  // exit path — the other tests here pin the builtin-only listing and
+  // must hold under --gtest_shuffle.
+  struct Cleanup {
+    ~Cleanup() {
+      SolverRegistry::instance().remove("aa-custom");
+      SolverRegistry::instance().remove("zz-custom");
+    }
+  } cleanup;
+  const AlgorithmInfo* lasso = SolverRegistry::instance().find("lasso");
+  ASSERT_NE(lasso, nullptr);
+  SolverRegistry::instance().add(
+      {"zz-custom", "test plug-in", lasso->axis, lasso->factory});
+  SolverRegistry::instance().add(
+      {"aa-custom", "test plug-in", lasso->axis, lasso->factory});
+  const std::vector<std::string> ids = registered_algorithms();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(ids.front(), "aa-custom");
+  EXPECT_EQ(ids.back(), "zz-custom");
+  EXPECT_EQ(ids.size(), 8u);
+
+  // Re-registering replaces, never duplicates; remove() restores the
+  // builtin-only registry (asserted so the cleanup above is real).
+  SolverRegistry::instance().add(
+      {"aa-custom", "replaced", lasso->axis, lasso->factory});
+  EXPECT_EQ(registered_algorithms().size(), 8u);
+  EXPECT_EQ(SolverRegistry::instance().find("aa-custom")->description,
+            "replaced");
+  EXPECT_TRUE(SolverRegistry::instance().remove("aa-custom"));
+  EXPECT_FALSE(SolverRegistry::instance().remove("aa-custom"));
+  EXPECT_TRUE(SolverRegistry::instance().remove("zz-custom"));
+  EXPECT_EQ(registered_algorithms().size(), 6u);
+}
+
+}  // namespace
+}  // namespace sa::core

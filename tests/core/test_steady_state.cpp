@@ -13,6 +13,7 @@
 
 #include "core/cd_lasso.hpp"
 #include "core/group_lasso.hpp"
+#include "core/registry.hpp"
 #include "core/sa_group_lasso.hpp"
 #include "core/sa_lasso.hpp"
 #include "core/sa_svm.hpp"
@@ -162,6 +163,35 @@ TEST(SteadyState, ClassicalGroupLassoAllocatesOnlyInTheFirstIteration) {
   const std::size_t one_iteration = run(1);
   const std::size_t many_iterations = run(41);
   EXPECT_EQ(many_iterations, one_iteration);
+}
+
+// The checkpoint-every path must also be allocation-free in steady state:
+// the snapshot image is built in the engine's reused SnapshotWriter, the
+// partitioned-state gathers ride a la::Workspace arena slot, and the tmp
+// path string is built once — so a run that writes eleven checkpoints
+// allocates exactly as much as a run that writes one.  (File I/O goes
+// through C stdio, which the operator-new shim deliberately ignores: the
+// assertion is about the solver's heap, not libc's.)
+TEST(SteadyState, CheckpointEveryAllocatesOnlyForTheFirstSnapshot) {
+  const data::Dataset d = regression_problem();
+  const std::string path =
+      ::testing::TempDir() + "sa_steady_checkpoint.snap";
+  const auto run = [&](std::size_t iterations) {
+    SolverSpec spec = SolverSpec::make("sa-lasso");
+    spec.lambda = 0.05;
+    spec.block_size = 2;
+    spec.s = 4;
+    spec.max_iterations = iterations;
+    spec.trace_every = 0;
+    spec.checkpoint_path = path;
+    spec.checkpoint_every = 8;
+    return allocations_during([&] { solve(d, spec); });
+  };
+  run(8);  // warm thread-local kernel scratch
+  const std::size_t one_checkpoint = run(8);
+  const std::size_t many_checkpoints = run(88);
+  EXPECT_EQ(many_checkpoints, one_checkpoint)
+      << "ten extra checkpoints must not allocate";
 }
 
 TEST(SteadyState, ClassicalSvmAllocatesOnlyInTheFirstIteration) {

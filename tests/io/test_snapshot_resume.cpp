@@ -1,0 +1,552 @@
+// Bitwise-resume conformance suite for the snapshot subsystem.
+//
+// The core guarantee: for every id in registered_algorithms(), serial and
+// 4-rank, a solve that is interrupted at round k, snapshotted, and resumed
+// into a FRESH Solver produces a remaining trace and final solution that
+// are bit-for-bit identical to an uninterrupted run — with every stopping
+// criterion enabled.  Wall-clock readings are the one measured (not
+// replayed) quantity and are excluded from the comparison.
+//
+// Negative paths: truncated images, flipped bytes (checksum), wrong
+// version, and wrong-algorithm snapshots are rejected with descriptive
+// SnapshotErrors and leave the target solver untouched (it still finishes
+// bitwise-identically to a never-restored run).
+#include "io/snapshot.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+
+namespace sa::core {
+namespace {
+
+data::Dataset regression_problem() {
+  data::RegressionConfig cfg;
+  cfg.num_points = 64;
+  cfg.num_features = 28;
+  cfg.density = 0.4;
+  cfg.support_size = 5;
+  cfg.noise_sigma = 0.02;
+  cfg.seed = 91;
+  return data::make_regression(cfg).dataset;
+}
+
+data::Dataset classification_problem() {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 56;
+  cfg.num_features = 36;
+  cfg.density = 0.4;
+  cfg.seed = 92;
+  return data::make_classification(cfg);
+}
+
+const data::Dataset& dataset_for(const SolverSpec& spec) {
+  static const data::Dataset regression = regression_problem();
+  static const data::Dataset classification = classification_problem();
+  return spec.family() == SolverFamily::kSvm ? classification : regression;
+}
+
+/// Every stopping criterion enabled: the tolerances are tight enough to
+/// stay inactive over H iterations (so the parity comparison sees the
+/// whole run) but the piggy-backed machinery is exercised on every round.
+SolverSpec conformance_spec(const std::string& id) {
+  SolverSpec spec = SolverSpec::make(id);
+  spec.max_iterations = 240;
+  spec.trace_every = 60;
+  spec.seed = 7;
+  spec.s = 4;
+  spec.objective_tolerance = 1e-300;
+  spec.wall_clock_budget = 1e9;
+  switch (spec.family()) {
+    case SolverFamily::kLasso:
+      spec.lambda = 0.05;
+      spec.block_size = 2;
+      spec.accelerated = true;
+      break;
+    case SolverFamily::kGroupLasso:
+      spec.lambda = 0.1;
+      spec.groups = GroupStructure::uniform(
+          regression_problem().num_features(), 4);
+      break;
+    case SolverFamily::kSvm:
+      spec.lambda = 1.0;
+      spec.loss = SvmLoss::kL2;
+      spec.gap_tolerance = 1e-300;
+      break;
+    case SolverFamily::kUnknown:
+      break;
+  }
+  return spec;
+}
+
+data::Partition partition_for(const SolverSpec& spec,
+                              const data::Dataset& d, int ranks) {
+  const AlgorithmInfo* info =
+      SolverRegistry::instance().find(spec.algorithm);
+  const std::size_t extent = info->axis == PartitionAxis::kRows
+                                 ? d.num_points()
+                                 : d.num_features();
+  return data::Partition::block(extent, ranks);
+}
+
+std::unique_ptr<Solver> fresh_solver(dist::Communicator& comm,
+                                     const SolverSpec& spec,
+                                     const data::Dataset& d) {
+  return make_solver(comm, d, partition_for(spec, d, comm.size()), spec);
+}
+
+void expect_bits_equal(std::span<const double> a, std::span<const double> b,
+                       const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+  }
+}
+
+void expect_stats_equal(const dist::CommStats& a, const dist::CommStats& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.flops, b.flops) << what;
+  EXPECT_EQ(a.replicated_flops, b.replicated_flops) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.words, b.words) << what;
+  EXPECT_EQ(a.collectives, b.collectives) << what;
+  for (std::size_t s = 0; s < dist::kRoundSectionCount; ++s) {
+    EXPECT_EQ(a.sections[s].collectives, b.sections[s].collectives)
+        << what << " section " << s;
+    EXPECT_EQ(a.sections[s].words, b.sections[s].words)
+        << what << " section " << s;
+  }
+}
+
+/// Full bitwise result comparison — everything except the measured
+/// wall-clock fields.
+void expect_results_identical(const SolveResult& a, const SolveResult& b,
+                              const std::string& what) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << what;
+  EXPECT_EQ(a.stop_reason, b.stop_reason) << what;
+  expect_bits_equal(a.x, b.x, what + ": x");
+  expect_bits_equal(a.alpha, b.alpha, what + ": alpha");
+  ASSERT_EQ(a.trace.points.size(), b.trace.points.size()) << what;
+  for (std::size_t i = 0; i < a.trace.points.size(); ++i) {
+    EXPECT_EQ(a.trace.points[i].iteration, b.trace.points[i].iteration)
+        << what << " point " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.trace.points[i].objective),
+              std::bit_cast<std::uint64_t>(b.trace.points[i].objective))
+        << what << " point " << i;
+    expect_stats_equal(a.trace.points[i].stats, b.trace.points[i].stats,
+                       what + " point stats");
+  }
+  EXPECT_EQ(a.trace.iterations_run, b.trace.iterations_run) << what;
+  expect_stats_equal(a.trace.final_stats, b.trace.final_stats,
+                     what + ": final stats");
+}
+
+// ---------------------------------------------------------------------
+// Serial conformance: every registered id
+// ---------------------------------------------------------------------
+
+TEST(SnapshotResume, SerialResumeIsBitwiseIdenticalForEveryAlgorithm) {
+  for (const std::string& id : registered_algorithms()) {
+    SCOPED_TRACE(id);
+    const SolverSpec spec = conformance_spec(id);
+    const data::Dataset& d = dataset_for(spec);
+
+    dist::SerialComm ref_comm;
+    const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+    // Interrupt mid-solve, snapshot, resume into a FRESH solver.
+    dist::SerialComm comm_a;
+    const std::unique_ptr<Solver> interrupted =
+        fresh_solver(comm_a, spec, d);
+    interrupted->step(spec.max_iterations / 3);
+    const std::vector<std::uint8_t> image = interrupted->snapshot();
+
+    dist::SerialComm comm_b;
+    const std::unique_ptr<Solver> resumed = fresh_solver(comm_b, spec, d);
+    resumed->restore(image);
+    EXPECT_EQ(resumed->iterations_run(), interrupted->iterations_run());
+    expect_results_identical(reference, resumed->run(), id + " resumed");
+
+    // Taking the snapshot must not perturb the interrupted solver either.
+    expect_results_identical(reference, interrupted->run(),
+                             id + " continued after snapshot");
+  }
+}
+
+TEST(SnapshotResume, SerialFileRoundTripIsBitwiseIdentical) {
+  const std::string path = ::testing::TempDir() + "sa_snapshot_serial.snap";
+  for (const std::string& id : registered_algorithms()) {
+    SCOPED_TRACE(id);
+    const SolverSpec spec = conformance_spec(id);
+    const data::Dataset& d = dataset_for(spec);
+
+    dist::SerialComm ref_comm;
+    const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+    dist::SerialComm comm_a;
+    const std::unique_ptr<Solver> interrupted =
+        fresh_solver(comm_a, spec, d);
+    interrupted->step(spec.max_iterations / 2);
+    interrupted->snapshot_to_file(path);
+
+    dist::SerialComm comm_b;
+    const std::unique_ptr<Solver> resumed = fresh_solver(comm_b, spec, d);
+    resumed->restore_from_file(path);
+    expect_results_identical(reference, resumed->run(), id + " from file");
+  }
+}
+
+// ---------------------------------------------------------------------
+// 4-rank conformance: every registered id
+// ---------------------------------------------------------------------
+
+void multi_rank_resume_sweep(int ranks) {
+  for (const std::string& id : registered_algorithms()) {
+    SCOPED_TRACE(id);
+    const SolverSpec spec = conformance_spec(id);
+    const data::Dataset& d = dataset_for(spec);
+
+    // Per-rank results: [rank] → (reference, resumed, continued).
+    std::vector<SolveResult> reference(ranks), resumed(ranks),
+        continued(ranks);
+    std::mutex lock;
+    dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+      // One Communicator serves all three solves on this rank: zero its
+      // metering between them so each solve starts from clean counters
+      // (restore() installs the snapshot's counters itself).
+      comm.set_stats(dist::CommStats{});
+      SolveResult ref = fresh_solver(comm, spec, d)->run();
+
+      comm.set_stats(dist::CommStats{});
+      const std::unique_ptr<Solver> interrupted =
+          fresh_solver(comm, spec, d);
+      interrupted->step(spec.max_iterations / 3);
+      // Each rank snapshots and restores its own image (the in-memory
+      // image carries this rank's trace counters, so parity holds
+      // per-rank, not just on rank 0).
+      const std::vector<std::uint8_t> image = interrupted->snapshot();
+      SolveResult cont = interrupted->run();
+
+      const std::unique_ptr<Solver> fresh = fresh_solver(comm, spec, d);
+      fresh->restore(image);
+      SolveResult res = fresh->run();
+
+      std::scoped_lock guard(lock);
+      reference[comm.rank()] = std::move(ref);
+      resumed[comm.rank()] = std::move(res);
+      continued[comm.rank()] = std::move(cont);
+    });
+    for (int r = 0; r < ranks; ++r) {
+      const std::string tag = id + " rank " + std::to_string(r);
+      expect_results_identical(reference[r], resumed[r], tag + " resumed");
+      expect_results_identical(reference[r], continued[r],
+                               tag + " continued");
+    }
+  }
+}
+
+TEST(SnapshotResume, FourRankResumeIsBitwiseIdenticalForEveryAlgorithm) {
+  multi_rank_resume_sweep(4);
+}
+
+// CI's 8-rank smoke job sets SA_SMOKE_RANKS to sweep resume parity across
+// a wider team (any rank count >= 2 works; self-skips when unset).
+TEST(SnapshotResume, RankSweepFromEnvironment) {
+  const char* env = std::getenv("SA_SMOKE_RANKS");
+  const int p = env ? std::atoi(env) : 0;
+  if (p < 2) GTEST_SKIP() << "set SA_SMOKE_RANKS >= 2 to run the sweep";
+  multi_rank_resume_sweep(p);
+}
+
+TEST(SnapshotResume, FourRankFileRoundTripMatchesRankZero) {
+  constexpr int kRanks = 4;
+  const std::string path = ::testing::TempDir() + "sa_snapshot_4rank.snap";
+  const SolverSpec spec = conformance_spec("sa-lasso");
+  const data::Dataset& d = dataset_for(spec);
+
+  std::vector<SolveResult> reference(kRanks), resumed(kRanks);
+  std::mutex lock;
+  dist::run_distributed(kRanks, [&](dist::Communicator& comm) {
+    comm.set_stats(dist::CommStats{});
+    SolveResult ref = fresh_solver(comm, spec, d)->run();
+
+    comm.set_stats(dist::CommStats{});
+    const std::unique_ptr<Solver> interrupted = fresh_solver(comm, spec, d);
+    interrupted->step(100);
+    interrupted->snapshot_to_file(path);  // collective; rank 0 writes
+
+    const std::unique_ptr<Solver> fresh = fresh_solver(comm, spec, d);
+    fresh->restore_from_file(path);  // collective; rank 0 reads + scatters
+    SolveResult res = fresh->run();
+
+    std::scoped_lock guard(lock);
+    reference[comm.rank()] = std::move(ref);
+    resumed[comm.rank()] = std::move(res);
+  });
+  // The file carries rank 0's counters; iterates are replicated, so every
+  // rank's resumed solution and objectives match its reference bitwise.
+  for (int r = 0; r < kRanks; ++r) {
+    const std::string tag = "rank " + std::to_string(r);
+    expect_bits_equal(reference[r].x, resumed[r].x, tag + ": x");
+    ASSERT_EQ(reference[r].trace.points.size(),
+              resumed[r].trace.points.size());
+    for (std::size_t i = 0; i < reference[r].trace.points.size(); ++i) {
+      EXPECT_EQ(
+          std::bit_cast<std::uint64_t>(
+              reference[r].trace.points[i].objective),
+          std::bit_cast<std::uint64_t>(resumed[r].trace.points[i].objective))
+          << tag << " point " << i;
+    }
+  }
+  expect_results_identical(reference[0], resumed[0], "rank 0");
+}
+
+// ---------------------------------------------------------------------
+// Rank-count independence of the format
+// ---------------------------------------------------------------------
+
+TEST(SnapshotResume, FourRankSnapshotRestoresIntoASerialSolver) {
+  // The image gathers partitioned state to full length, so a snapshot
+  // taken on 4 ranks restores on 1 (and vice versa).  The continued
+  // trajectories are NOT bitwise identical across rank counts (partial
+  // sums associate differently), so this asserts functionality and
+  // closeness, not bits.
+  const SolverSpec spec = conformance_spec("sa-lasso");
+  const data::Dataset& d = dataset_for(spec);
+
+  std::vector<std::uint8_t> image;
+  std::mutex lock;
+  dist::run_distributed(4, [&](dist::Communicator& comm) {
+    const std::unique_ptr<Solver> solver = fresh_solver(comm, spec, d);
+    solver->step(100);
+    std::vector<std::uint8_t> bytes = solver->snapshot();
+    if (comm.rank() == 0) {
+      std::scoped_lock guard(lock);
+      image = std::move(bytes);
+    }
+  });
+
+  dist::SerialComm ref_comm;
+  const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+  dist::SerialComm comm;
+  const std::unique_ptr<Solver> resumed = fresh_solver(comm, spec, d);
+  resumed->restore(image);
+  EXPECT_EQ(resumed->iterations_run(), 100u);
+  const SolveResult result = resumed->run();
+  EXPECT_EQ(result.trace.iterations_run, reference.trace.iterations_run);
+  EXPECT_NEAR(result.final_objective(), reference.final_objective(),
+              1e-9 * std::abs(reference.final_objective()) + 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Negative paths
+// ---------------------------------------------------------------------
+
+class SnapshotNegative : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = conformance_spec("sa-lasso");
+    const data::Dataset& d = dataset_for(spec_);
+    dist::SerialComm ref_comm;
+    reference_ = fresh_solver(ref_comm, spec_, d)->run();
+
+    dist::SerialComm comm;
+    const std::unique_ptr<Solver> source = fresh_solver(comm, spec_, d);
+    source->step(80);
+    image_ = source->snapshot();
+  }
+
+  /// Asserts that restoring `bytes` throws a SnapshotError whose message
+  /// contains `needle`, and that the failed restore left the solver
+  /// untouched: it still finishes bitwise-identically to the reference.
+  void expect_rejected(const std::vector<std::uint8_t>& bytes,
+                       const std::string& needle) {
+    dist::SerialComm comm;
+    const std::unique_ptr<Solver> solver =
+        fresh_solver(comm, spec_, dataset_for(spec_));
+    try {
+      solver->restore(bytes);
+      FAIL() << "expected SnapshotError (" << needle << ")";
+    } catch (const io::SnapshotError& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "message was: " << error.what();
+    }
+    EXPECT_EQ(solver->iterations_run(), 0u) << "solver was touched";
+    expect_results_identical(reference_, solver->run(),
+                             "after rejected restore (" + needle + ")");
+  }
+
+  SolverSpec spec_;
+  SolveResult reference_;
+  std::vector<std::uint8_t> image_;
+};
+
+TEST_F(SnapshotNegative, TruncatedImagesAreRejected) {
+  std::vector<std::uint8_t> tiny(image_.begin(), image_.begin() + 10);
+  expect_rejected(tiny, "truncated");
+  std::vector<std::uint8_t> clipped(image_.begin(), image_.end() - 7);
+  expect_rejected(clipped, "checksum");
+}
+
+TEST_F(SnapshotNegative, FlippedByteFailsTheChecksum) {
+  std::vector<std::uint8_t> corrupted = image_;
+  corrupted[corrupted.size() / 2] ^= 0xFF;
+  expect_rejected(corrupted, "checksum");
+}
+
+TEST_F(SnapshotNegative, WrongVersionIsRejected) {
+  std::vector<std::uint8_t> wrong = image_;
+  wrong[8] += 1;  // u32 version field lives at offset 8
+  expect_rejected(wrong, "version");
+}
+
+TEST_F(SnapshotNegative, BadMagicIsRejected) {
+  std::vector<std::uint8_t> wrong = image_;
+  wrong[0] = 'X';
+  expect_rejected(wrong, "magic");
+}
+
+TEST_F(SnapshotNegative, WrongAlgorithmSnapshotIsRejected) {
+  // A classical-lasso snapshot must not restore into this sa-lasso
+  // solver; the error names both ids.
+  SolverSpec other = conformance_spec("lasso");
+  dist::SerialComm comm;
+  const std::unique_ptr<Solver> source =
+      fresh_solver(comm, other, dataset_for(other));
+  source->step(20);
+  std::vector<std::uint8_t> foreign = source->snapshot();
+  expect_rejected(foreign, "algorithm mismatch");
+  expect_rejected(foreign, "lasso");
+  expect_rejected(foreign, "sa-lasso");
+}
+
+TEST_F(SnapshotNegative, SpecMismatchIsRejected) {
+  // Same algorithm id, different λ: the fingerprint catches silent
+  // trajectory forks.
+  SolverSpec other = spec_;
+  other.lambda = 0.25;
+  dist::SerialComm comm;
+  const std::unique_ptr<Solver> solver =
+      fresh_solver(comm, other, dataset_for(other));
+  try {
+    solver->restore(image_);
+    FAIL() << "expected SnapshotError";
+  } catch (const io::SnapshotError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("spec mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("lambda"), std::string::npos) << what;
+  }
+  EXPECT_EQ(solver->iterations_run(), 0u);
+}
+
+TEST_F(SnapshotNegative, MissingFileIsRejectedAndNamesThePath) {
+  dist::SerialComm comm;
+  const std::unique_ptr<Solver> solver =
+      fresh_solver(comm, spec_, dataset_for(spec_));
+  try {
+    solver->restore_from_file("/nonexistent/sa-opt-missing.snap");
+    FAIL() << "expected SnapshotError";
+  } catch (const io::SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("sa-opt-missing.snap"),
+              std::string::npos)
+        << error.what();
+  }
+  expect_results_identical(reference_, solver->run(),
+                           "after missing-file restore");
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint-every observer path
+// ---------------------------------------------------------------------
+
+TEST(SnapshotResume, CheckpointEveryWritesAResumableFile) {
+  const std::string path = ::testing::TempDir() + "sa_ckpt_every.snap";
+  SolverSpec spec = conformance_spec("sa-lasso");
+  const data::Dataset& d = dataset_for(spec);
+
+  dist::SerialComm ref_comm;
+  const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+  // The checkpointed run itself must match the reference bitwise (the
+  // snapshot writes restore the metering they touch).
+  SolverSpec ckpt_spec = spec;
+  ckpt_spec.checkpoint_path = path;
+  ckpt_spec.checkpoint_every = 100;
+  const SolveResult checkpointed = solve(d, ckpt_spec);
+  expect_results_identical(reference, checkpointed, "checkpointed run");
+
+  // The last checkpoint on disk resumes to the same result.  Resume under
+  // the plain spec (no further checkpoints).
+  const SolveResult resumed = solve(d, spec, path);
+  expect_results_identical(reference, resumed, "resumed from checkpoint");
+}
+
+TEST(SnapshotResume, CheckpointCadenceRequiresAPath) {
+  SolverSpec spec = conformance_spec("sa-lasso");
+  spec.checkpoint_every = 10;  // no path
+  EXPECT_THROW(solve(dataset_for(spec), spec), PreconditionError);
+}
+
+// ---------------------------------------------------------------------
+// Writer/reader unit coverage
+// ---------------------------------------------------------------------
+
+TEST(SnapshotFormat, WriterReaderRoundTrip) {
+  io::SnapshotWriter writer;
+  writer.reset("unit-test");
+  const std::vector<double> reals = {1.5, -0.0, 1e-300, 42.0};
+  const std::vector<std::uint64_t> words = {0, 1, ~0ULL};
+  writer.add_doubles("reals", reals);
+  writer.add_u64s("words", words);
+  writer.add_double("scalar", 2.25);
+  writer.add_u64("word", 77);
+  const auto image = writer.finalize();
+
+  const io::SnapshotReader reader = io::SnapshotReader::parse(image);
+  EXPECT_EQ(reader.algorithm(), "unit-test");
+  EXPECT_TRUE(reader.has("reals"));
+  EXPECT_FALSE(reader.has("missing"));
+  expect_bits_equal(reader.doubles("reals", 4), reals, "reals");
+  const auto w = reader.u64s("words", 3);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    EXPECT_EQ(w[i], words[i]);
+  EXPECT_EQ(reader.real("scalar"), 2.25);
+  EXPECT_EQ(reader.word("word"), 77u);
+  EXPECT_THROW(reader.doubles("words"), io::SnapshotError);
+  EXPECT_THROW(reader.u64s("reals"), io::SnapshotError);
+  EXPECT_THROW(reader.doubles("reals", 3), io::SnapshotError);
+  EXPECT_THROW(reader.doubles("missing"), io::SnapshotError);
+}
+
+TEST(SnapshotFormat, ResetReusesTheWriter) {
+  io::SnapshotWriter writer;
+  writer.reset("first");
+  writer.add_double("a", 1.0);
+  const std::vector<std::uint8_t> first(writer.finalize().begin(),
+                                        writer.finalize().end());
+  writer.reset("second");
+  writer.add_double("a", 2.0);
+  const auto second = io::SnapshotReader::parse(writer.finalize());
+  EXPECT_EQ(second.algorithm(), "second");
+  EXPECT_EQ(second.real("a"), 2.0);
+  const auto parsed_first = io::SnapshotReader::parse(first);
+  EXPECT_EQ(parsed_first.algorithm(), "first");
+  EXPECT_EQ(parsed_first.real("a"), 1.0);
+}
+
+}  // namespace
+}  // namespace sa::core
