@@ -1,6 +1,7 @@
 // The paper's figures from ONE registry-driven driver.
 //
-//   bench_figures [convergence|runtime|scaling|all] [--smoke]
+//   bench_figures [convergence|runtime|scaling|overlap|all] [--smoke]
+//                 [--json out.json]
 //
 // Every series is produced through the Solver facade by iterating
 // core::registered_algorithms() — no per-figure solver plumbing:
@@ -12,14 +13,22 @@
 //                counts and priced on the Cray XC30-like machine (paper
 //                Figure 3), with the SA speedup over the classical id;
 //   scaling      Table I cost-model strong scaling and speedup-vs-s
-//                breakdown (paper Figure 4).
+//                breakdown (paper Figure 4);
+//   overlap      measured wall time and per-phase seconds for the
+//                double-buffered round pipeline vs the unpipelined loop,
+//                every id on 4 thread-backed ranks, with the fraction of
+//                the reduce-wait the overlap hid.
 //
+// --json PATH additionally writes every series the selected figures
+// produced as one machine-readable JSON document (plotting scripts and CI
+// trend tracking consume this; the stdout tables stay the human surface).
 // --smoke shrinks the workloads to seconds (synthetic twins, small H) —
 // the mode CI runs.  The full mode runs ONE representative twin per
 // partition axis (news20-like for the regression families, w1a-like for
 // SVM) at one target P; for the full dataset × P sweeps of the paper's
 // figure panels, edit Config / dataset_for — every series goes through
 // the same registry loop.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -42,6 +51,43 @@ struct Config {
   std::size_t s = 32;             // unrolling depth for sa-* ids
   int target_p = 768;             // paper-scale processor count (runtime)
 };
+
+// --json accumulator: each figure runner contributes one named JSON value;
+// main() assembles and writes the document.  Hand-rolled on purpose — the
+// schema is flat (objects, arrays, numbers, strings) and the container has
+// no JSON dependency.
+struct JsonSink {
+  bool enabled = false;
+  std::vector<std::pair<std::string, std::string>> figures;
+  void add(const std::string& name, std::string value) {
+    if (enabled) figures.emplace_back(name, std::move(value));
+  }
+};
+
+std::string jnum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jstr(const std::string& s) { return "\"" + s + "\""; }
+
+/// Joins already-serialized JSON values into an array.
+std::string jarr(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ",";
+    out += items[i];
+  }
+  return out + "]";
+}
+
+double wall_seconds_since(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
 
 bool is_svm_id(const std::string& id) {
   return id == "svm" || id == "sa-svm";
@@ -110,7 +156,7 @@ std::string classical_of(const std::string& id) {
 // convergence — Figures 2 and 5
 // ---------------------------------------------------------------------
 
-void run_convergence(const Config& cfg) {
+void run_convergence(const Config& cfg, JsonSink& json) {
   sa::bench::print_header(
       "Figures 2 & 5 — convergence vs iterations, every registered id",
       "Objective (Lasso families) / duality gap (SVM family) per trace "
@@ -126,6 +172,18 @@ void run_convergence(const Config& cfg) {
     series.emplace_back();
     for (const auto& p : r.trace.points)
       series.back().emplace_back(p.iteration, p.objective);
+  }
+
+  if (json.enabled) {
+    std::vector<std::string> items;
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+      std::vector<std::string> points;
+      for (const auto& [it, v] : series[k])
+        points.push_back(jarr({jnum(static_cast<double>(it)), jnum(v)}));
+      items.push_back("{\"id\":" + jstr(labels[k]) +
+                      ",\"points\":" + jarr(points) + "}");
+    }
+    json.add("convergence", jarr(items));
   }
 
   std::printf("%12s", "iteration");
@@ -173,7 +231,7 @@ void run_convergence(const Config& cfg) {
 // runtime — Figure 3
 // ---------------------------------------------------------------------
 
-void run_runtime(const Config& cfg) {
+void run_runtime(const Config& cfg, JsonSink& json) {
   sa::bench::print_header(
       "Figure 3 — modelled running time at paper scale, every registered "
       "id",
@@ -199,6 +257,7 @@ void run_runtime(const Config& cfg) {
   }
   std::printf("%-16s %14s %14s %14s %12s\n", "algorithm", "modelled time",
               "final obj", "collectives", "speedup");
+  std::vector<std::string> items;
   for (const Row& row : rows) {
     double speedup = 1.0;
     const std::string ref_id = classical_of(row.id);
@@ -206,14 +265,21 @@ void run_runtime(const Config& cfg) {
       if (ref.id == ref_id) speedup = ref.seconds / row.seconds;
     std::printf("%-16s %12.4fs %14.6g %14zu %11.2fx\n", row.id.c_str(),
                 row.seconds, row.objective, row.collectives, speedup);
+    items.push_back(
+        "{\"id\":" + jstr(row.id) +
+        ",\"modelled_seconds\":" + jnum(row.seconds) +
+        ",\"final_objective\":" + jnum(row.objective) +
+        ",\"collectives\":" + jnum(static_cast<double>(row.collectives)) +
+        ",\"speedup\":" + jnum(speedup) + "}");
   }
+  json.add("runtime", jarr(items));
 }
 
 // ---------------------------------------------------------------------
 // scaling — Figure 4
 // ---------------------------------------------------------------------
 
-void run_scaling(const Config& cfg) {
+void run_scaling(const Config& cfg, JsonSink& json) {
   sa::bench::print_header(
       "Figure 4 — cost-model strong scaling and speedup breakdown",
       "Table I formulas priced on the Cray XC30-like machine; the SVM "
@@ -239,22 +305,36 @@ void run_scaling(const Config& cfg) {
               shape.name.c_str());
   std::printf("%10s %14s %14s %10s %8s\n", "P", "accCD [s]", "CA-accCD [s]",
               "speedup", "best s");
+  std::vector<std::string> strong_items;
   for (const sa::perf::ScalingPoint& pt : sa::perf::bcd_strong_scaling(
            bcd, {192, 384, 768}, s_candidates, machine)) {
     std::printf("%10d %14.4f %14.4f %9.2fx %8zu\n", pt.processors,
                 pt.seconds_non_sa, pt.seconds_sa,
                 pt.seconds_non_sa / pt.seconds_sa, pt.best_s);
+    strong_items.push_back(
+        "{\"processors\":" + jnum(pt.processors) +
+        ",\"seconds_non_sa\":" + jnum(pt.seconds_non_sa) +
+        ",\"seconds_sa\":" + jnum(pt.seconds_sa) +
+        ",\"best_s\":" + jnum(static_cast<double>(pt.best_s)) + "}");
   }
+  json.add("strong_scaling", jarr(strong_items));
 
   bcd.processors = 768;
   std::printf("\n--- speedup breakdown @ P=%d ---\n", bcd.processors);
   std::printf("%8s %10s %16s %14s\n", "s", "total", "communication",
               "computation");
+  std::vector<std::string> sweep_items;
   for (const sa::perf::SpeedupBreakdown& b :
        sa::perf::bcd_speedup_sweep(bcd, {2, 4, 8, 16, 32, 64}, machine)) {
     std::printf("%8zu %9.2fx %15.2fx %13.2fx\n", b.s, b.total,
                 b.communication, b.computation);
+    sweep_items.push_back(
+        "{\"s\":" + jnum(static_cast<double>(b.s)) +
+        ",\"total\":" + jnum(b.total) +
+        ",\"communication\":" + jnum(b.communication) +
+        ",\"computation\":" + jnum(b.computation) + "}");
   }
+  json.add("bcd_speedup_sweep", jarr(sweep_items));
 
   sa::perf::SvmParams svm;
   svm.iterations = cfg.smoke ? 1000 : 10000;
@@ -267,17 +347,80 @@ void run_scaling(const Config& cfg) {
               svm_shape.name.c_str(), svm.processors);
   std::printf("%8s %10s %16s %14s\n", "s", "total", "communication",
               "computation");
+  std::vector<std::string> svm_items;
   for (const sa::perf::SpeedupBreakdown& b : sa::perf::svm_speedup_sweep(
            svm, {2, 4, 8, 16, 32, 64, 128}, machine)) {
     std::printf("%8zu %9.2fx %15.2fx %13.2fx\n", b.s, b.total,
                 b.communication, b.computation);
+    svm_items.push_back(
+        "{\"s\":" + jnum(static_cast<double>(b.s)) +
+        ",\"total\":" + jnum(b.total) +
+        ",\"communication\":" + jnum(b.communication) +
+        ",\"computation\":" + jnum(b.computation) + "}");
   }
+  json.add("svm_speedup_sweep", jarr(svm_items));
+}
+
+// ---------------------------------------------------------------------
+// overlap — pipelined vs unpipelined phase timing
+// ---------------------------------------------------------------------
+
+void run_overlap(const Config& cfg, JsonSink& json) {
+  sa::bench::print_header(
+      "Round-pipeline overlap efficiency, every registered id",
+      "Measured wall and per-phase seconds on 4 thread-backed ranks,\n"
+      "pipeline on vs off (bitwise-identical math; see "
+      "tests/core/test_round_pipeline.cpp).\nhidden = the reduce-wait "
+      "seconds the overlap removed; efficiency = hidden / wait(off).");
+
+  constexpr int kRanks = 4;
+  struct Timing {
+    double wall = 0.0;
+    sa::dist::CommStats stats;
+  };
+  std::printf("%-16s %10s %10s %10s %10s %10s %11s\n", "algorithm",
+              "wall on", "wall off", "wait on", "wait off", "hidden",
+              "efficiency");
+  std::vector<std::string> items;
+  for (const std::string& id : sa::core::registered_algorithms()) {
+    Timing timing[2];  // [0] = pipeline on, [1] = off
+    for (int mode = 0; mode < 2; ++mode) {
+      SolverSpec spec = spec_for(id, cfg).with_pipeline(mode == 0);
+      const auto t0 = std::chrono::steady_clock::now();
+      const SolveResult r =
+          sa::core::solve_on_ranks(dataset_for(id, cfg), spec, kRanks);
+      timing[mode] = {wall_seconds_since(t0), r.stats};
+    }
+    const double wait_on = timing[0].stats.wait_seconds;
+    const double wait_off = timing[1].stats.wait_seconds;
+    const double hidden = wait_off - wait_on;
+    const double efficiency = wait_off > 0.0 ? hidden / wait_off : 0.0;
+    std::printf("%-16s %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %10.1f%%\n",
+                id.c_str(), timing[0].wall, timing[1].wall, wait_on,
+                wait_off, hidden, 100.0 * efficiency);
+    const auto phases = [&](const Timing& t) {
+      return std::string("{\"wall_seconds\":") + jnum(t.wall) +
+             ",\"pack_seconds\":" + jnum(t.stats.pack_seconds) +
+             ",\"wait_seconds\":" + jnum(t.stats.wait_seconds) +
+             ",\"apply_seconds\":" + jnum(t.stats.apply_seconds) +
+             ",\"checkpoint_seconds\":" + jnum(t.stats.checkpoint_seconds) +
+             "}";
+    };
+    items.push_back("{\"id\":" + jstr(id) +
+                    ",\"ranks\":" + jnum(kRanks) +
+                    ",\"pipeline_on\":" + phases(timing[0]) +
+                    ",\"pipeline_off\":" + phases(timing[1]) +
+                    ",\"hidden_wait_seconds\":" + jnum(hidden) +
+                    ",\"overlap_efficiency\":" + jnum(efficiency) + "}");
+  }
+  json.add("overlap", jarr(items));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string figure = "all";
+  std::string json_path;
   Config cfg;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -285,20 +428,45 @@ int main(int argc, char** argv) {
       cfg.h = 120;
       cfg.trace_every = 40;
       cfg.s = 8;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
     } else {
       figure = argv[i];
     }
   }
   if (figure != "convergence" && figure != "runtime" && figure != "scaling" &&
-      figure != "all") {
+      figure != "overlap" && figure != "all") {
     std::fprintf(stderr,
-                 "usage: bench_figures [convergence|runtime|scaling|all] "
-                 "[--smoke]\n");
+                 "usage: bench_figures "
+                 "[convergence|runtime|scaling|overlap|all] [--smoke] "
+                 "[--json out.json]\n");
     return 2;
   }
 
-  if (figure == "convergence" || figure == "all") run_convergence(cfg);
-  if (figure == "runtime" || figure == "all") run_runtime(cfg);
-  if (figure == "scaling" || figure == "all") run_scaling(cfg);
+  JsonSink json;
+  json.enabled = !json_path.empty();
+  if (figure == "convergence" || figure == "all") run_convergence(cfg, json);
+  if (figure == "runtime" || figure == "all") run_runtime(cfg, json);
+  if (figure == "scaling" || figure == "all") run_scaling(cfg, json);
+  if (figure == "overlap" || figure == "all") run_overlap(cfg, json);
+
+  if (json.enabled) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"smoke\":%s", cfg.smoke ? "true" : "false");
+    for (const auto& [name, value] : json.figures)
+      std::fprintf(f, ",\n\"%s\":%s", name.c_str(), value.c_str());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", json_path.c_str());
+  }
   return 0;
 }

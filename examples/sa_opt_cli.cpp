@@ -76,6 +76,8 @@ void print_registry() {
       "  --gap-tol X     SVM duality-gap stop (default off)\n"
       "  --obj-tol X     stop when successive trace objectives agree\n"
       "  --time-budget X wall-clock budget in seconds (default off)\n"
+      "  --no-pipeline   disable the double-buffered round pipeline\n"
+      "                  (bitwise-identical results; for A/B timing)\n"
       "  --seed N        sampler seed (default %llu)\n"
       "  --group-size N  uniform group size for group-lasso ids "
       "(default 8)\n"
@@ -137,6 +139,8 @@ Args parse(int argc, char** argv) {
       args.spec.objective_tolerance = std::atof(value());
     } else if (flag == "--time-budget") {
       args.spec.wall_clock_budget = std::atof(value());
+    } else if (flag == "--no-pipeline") {
+      args.spec.pipeline = false;
     } else if (flag == "--seed") {
       args.spec.seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--group-size") {
@@ -213,6 +217,15 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
               sa::core::summarize_trace(result.trace).c_str(),
               sa::core::to_string(result.stop_reason),
               result.trace.iterations_run);
+  // Where the round loop spent its wall time (rank 0's meters).  With the
+  // pipeline on, reduce-wait is the residual latency the overlap could
+  // not hide; checkpoint covers serialization plus the finish() drain —
+  // the disk write itself runs on the async writer's thread.
+  const sa::dist::CommStats& st = result.stats;
+  std::printf("phase seconds: pack %.4f  reduce-wait %.4f  apply %.4f  "
+              "checkpoint %.4f  (pipeline %s)\n",
+              st.pack_seconds, st.wait_seconds, st.apply_seconds,
+              st.checkpoint_seconds, spec.pipeline ? "on" : "off");
   if (svm) {
     std::printf("train accuracy: %.2f%%\n",
                 100.0 * sa::core::svm_accuracy(dataset.a, dataset.b,

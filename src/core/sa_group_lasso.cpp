@@ -33,9 +33,7 @@ class GroupLassoEngine final : public detail::EngineBase {
         rows_(rows),
         rng_(spec.seed),
         x_(n_, 0.0),
-        res_(block_.local_rows()),
-        group_of_(spec.unroll_depth()),
-        offset_(spec.unroll_depth() + 1) {
+        res_(block_.local_rows()) {
     const GroupStructure& groups = spec_.groups;
     // Largest group size bounds every per-group scratch buffer below.
     std::size_t max_group = 0;
@@ -47,6 +45,22 @@ class GroupLassoEngine final : public detail::EngineBase {
     base_state_.resize(max_group);
     gjj_.reshape(max_group, max_group);
     eig_scratch_.reserve(max_group);
+    for (std::size_t b = 0; b < 2; ++b) {
+      group_of_b_[b].resize(spec_.unroll_depth());
+      offset_b_[b].resize(spec_.unroll_depth() + 1);
+    }
+    if (spec_.pipeline) {
+      // Pre-size both round buffers to the worst-case batch, so short
+      // (never-speculating) and long solves make identical allocations
+      // (tests/core/test_steady_state.cpp).
+      const std::size_t k_max = spec_.unroll_depth() * max_group;
+      for (la::Workspace& ws : round_ws_) {
+        ws.indices(kSlotIdx, k_max);
+        ws.member_index_spans(k_max);
+        ws.member_value_spans(k_max);
+        ws.member_rows(k_max);
+      }
+    }
 
     if (!spec_.x0.empty()) {
       x_ = spec_.x0;
@@ -100,13 +114,18 @@ class GroupLassoEngine final : public detail::EngineBase {
     return 0.5 * reduced_partial + pending_penalty_;
   }
 
-  void pack_round(std::size_t s_eff, dist::RoundMessage& msg) override {
+  void plan_round(std::size_t s_eff, dist::RoundMessage& msg,
+                  std::size_t buf) override {
     const GroupStructure& groups = spec_.groups;
 
     // --- Sample s_eff groups (with replacement, seed-replicated).
     //     Groups vary in size, so track the offset of each block inside
     //     the stacked batch; the sampled column indices are contiguous
-    //     runs viewed zero-copy in the resident CSC storage. ---
+    //     runs viewed zero-copy in the resident CSC storage.  Depends
+    //     only on the generator stream, so the pipeline may run this
+    //     speculatively (rolled back by restoring the generator). ---
+    std::vector<std::size_t>& group_of_ = group_of_b_[buf];
+    std::vector<std::size_t>& offset_ = offset_b_[buf];
     offset_[0] = 0;
     for (std::size_t t = 0; t < s_eff; ++t) {
       const auto g =
@@ -116,26 +135,41 @@ class GroupLassoEngine final : public detail::EngineBase {
           offset_[t] + (groups.offsets[g + 1] - groups.offsets[g]);
     }
     const std::size_t k = offset_[s_eff];
-    idx_ = ws_.indices(kSlotIdx, k);
+    idx_b_[buf] = round_ws_[buf].indices(kSlotIdx, k);
     for (std::size_t t = 0; t < s_eff; ++t) {
       const std::size_t begin = groups.offsets[group_of_[t]];
       for (std::size_t l = 0; l < offset_[t + 1] - offset_[t]; ++l)
-        idx_[offset_[t] + l] = begin + l;
+        idx_b_[buf][offset_[t] + l] = begin + l;
     }
-    big_ = block_.view_columns(idx_, ws_);
+    big_b_[buf] = block_.view_columns(idx_b_[buf], round_ws_[buf]);
 
-    // --- ONE message: [upper(G) | Yᵀr̃], fused into the body. ---
-    const std::span<double> body =
-        msg.layout(detail::triangle_size(k), k, 0);
-    const std::array<std::span<const double>, 1> rhs{
-        std::span<const double>(res_)};
-    la::sampled_gram_and_dots(big_, rhs, body);
-    comm_.add_flops(big_.gram_flops() + big_.dot_all_flops());
+    // --- Gram triangle of the ONE message: [upper(G) | Yᵀr̃]; the dot
+    //     section waits for finish_round (it reads the residual the
+    //     previous apply just updated). ---
+    msg.layout(detail::triangle_size(k), k, 0);
+    la::sampled_gram(big_b_[buf],
+                     msg.section(dist::RoundSection::kGram));
+    comm_.add_flops(big_b_[buf].gram_flops());
   }
 
-  void apply_round(std::size_t s_eff,
-                   const dist::RoundMessage& msg) override {
+  void finish_round(std::size_t s_eff, dist::RoundMessage& msg,
+                    std::size_t buf) override {
+    (void)s_eff;
+    const std::array<std::span<const double>, 1> rhs{
+        std::span<const double>(res_)};
+    la::sampled_dots(big_b_[buf], rhs, msg.dots());
+    comm_.add_flops(big_b_[buf].dot_all_flops());
+  }
+
+  void mark_sampler() override { rng_mark_ = rng_.state(); }
+  void rewind_sampler() override { rng_.set_state(rng_mark_); }
+
+  void apply_round(std::size_t s_eff, const dist::RoundMessage& msg,
+                   std::size_t buf) override {
     const GroupStructure& groups = spec_.groups;
+    const std::vector<std::size_t>& group_of_ = group_of_b_[buf];
+    const std::vector<std::size_t>& offset_ = offset_b_[buf];
+    la::BatchView& big_ = big_b_[buf];
     const std::size_t k = offset_[s_eff];
     const detail::PackedUpper gram(
         msg.section(dist::RoundSection::kGram).data(), k);
@@ -252,17 +286,22 @@ class GroupLassoEngine final : public detail::EngineBase {
   // their capacity; the per-group scratch is sized by max_group up front,
   // leaving the steady-state loop allocation-free.
   la::Workspace ws_;
-  std::vector<std::size_t> group_of_;
-  std::vector<std::size_t> offset_;
   std::vector<double> r_;
   std::vector<double> u_;
   std::vector<double> base_state_;
   la::DenseMatrix gjj_;
   la::EigenScratch eig_scratch_;
 
-  // Pack-to-apply round state (backed by ws_, valid across the round).
-  std::span<std::size_t> idx_;
-  la::BatchView big_;
+  // Plan-to-apply round state, double-buffered for the pipeline: each
+  // buffer carries its sampled groups, their batch offsets, the stacked
+  // indices, and the zero-copy view (descriptors live in that buffer's
+  // Workspace named pools).  Unpipelined solves only touch buffer 0.
+  la::Workspace round_ws_[2];
+  std::vector<std::size_t> group_of_b_[2];
+  std::vector<std::size_t> offset_b_[2];
+  std::span<std::size_t> idx_b_[2];
+  la::BatchView big_b_[2];
+  std::uint64_t rng_mark_ = 0;
   double pending_penalty_ = 0.0;
 };
 

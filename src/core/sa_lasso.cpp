@@ -70,6 +70,19 @@ class LassoEngine final : public detail::EngineBase {
     // span stays valid for the engine's lifetime.
     pending_ = ws_.doubles(kSlotPending, n_);
     touched_.reserve(spec_.unroll_depth() * mu_);
+    if (spec_.pipeline) {
+      // Pre-size BOTH round buffers (and the sampler's rewind log) up
+      // front, so a solve short enough to never speculate and a long one
+      // make identical allocations (tests/core/test_steady_state.cpp).
+      const std::size_t k_max = spec_.unroll_depth() * mu_;
+      for (la::Workspace& ws : round_ws_) {
+        ws.indices(kSlotIdx, k_max);
+        ws.member_index_spans(k_max);
+        ws.member_value_spans(k_max);
+        ws.member_rows(k_max);
+      }
+      sampler_.reserve_rewind(k_max);
+    }
   }
 
  private:
@@ -137,32 +150,46 @@ class LassoEngine final : public detail::EngineBase {
     return 0.5 * reduced_partial + pending_penalty_;
   }
 
-  void pack_round(std::size_t s_eff, dist::RoundMessage& msg) override {
+  void plan_round(std::size_t s_eff, dist::RoundMessage& msg,
+                  std::size_t buf) override {
     const std::size_t k = s_eff * mu_;  // members of the sampled batch
 
     // --- Sampling: s_eff blocks of µ coordinates (seed-replicated),
-    //     viewed zero-copy in the resident CSC storage. ---
-    idx_ = ws_.indices(kSlotIdx, k);
+    //     viewed zero-copy in the resident CSC storage.  Depends only on
+    //     the sampler stream, so the pipeline may run this for round k+1
+    //     while round k's reduction is in flight (rolled back with
+    //     sampler_.rewind() if that round never happens). ---
+    idx_b_[buf] = round_ws_[buf].indices(kSlotIdx, k);
     for (std::size_t t = 0; t < s_eff; ++t)
-      sampler_.next_into(idx_.subspan(t * mu_, mu_));
-    big_ = block_.view_columns(idx_, ws_);
+      sampler_.next_into(idx_b_[buf].subspan(t * mu_, mu_));
+    big_b_[buf] = block_.view_columns(idx_b_[buf], round_ws_[buf]);
 
-    // --- The ONE message of this outer round:
-    //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]),
-    //     fused straight into the message body. ---
-    const std::size_t tri = detail::triangle_size(k);
+    // --- Gram triangle of the ONE message of this outer round:
+    //     [upper(G) | Yᵀỹ | Yᵀz̃]   (plain mode: [upper(G) | Yᵀr̃]).
+    //     The dot sections wait for finish_round — they read the images
+    //     the previous apply just updated. ---
+    const std::size_t k_dots = spec_.accelerated ? k : 0;
+    msg.layout(detail::triangle_size(k), k, k_dots);
+    la::sampled_gram(big_b_[buf],
+                     msg.section(dist::RoundSection::kGram));
+    comm_.add_flops(big_b_[buf].gram_flops());
+  }
+
+  void finish_round(std::size_t s_eff, dist::RoundMessage& msg,
+                    std::size_t buf) override {
+    (void)s_eff;
     const std::size_t sections = spec_.accelerated ? 2 : 1;
-    const std::span<double> body =
-        msg.layout(tri, k, spec_.accelerated ? k : 0);
     const std::array<std::span<const double>, 2> rhs{
         std::span<const double>(y_img_), std::span<const double>(z_img_)};
-    la::sampled_gram_and_dots(
-        big_,
-        std::span<const std::span<const double>>(
-            rhs.data() + (spec_.accelerated ? 0 : 1), sections),
-        body);
-    comm_.add_flops(big_.gram_flops() + sections * big_.dot_all_flops());
+    la::sampled_dots(big_b_[buf],
+                     std::span<const std::span<const double>>(
+                         rhs.data() + (spec_.accelerated ? 0 : 1), sections),
+                     msg.dots());
+    comm_.add_flops(sections * big_b_[buf].dot_all_flops());
   }
+
+  void mark_sampler() override { sampler_.mark(); }
+  void rewind_sampler() override { sampler_.rewind(); }
 
   void overlap_round(std::size_t s_eff) override {
     // θ entering inner iteration t (θ_{sk+t} in paper indexing, t
@@ -173,8 +200,10 @@ class LassoEngine final : public detail::EngineBase {
       theta_in_[t + 1] = detail::theta_next(theta_in_[t]);
   }
 
-  void apply_round(std::size_t s_eff,
-                   const dist::RoundMessage& msg) override {
+  void apply_round(std::size_t s_eff, const dist::RoundMessage& msg,
+                   std::size_t buf) override {
+    const std::span<const std::size_t> idx_ = idx_b_[buf];
+    la::BatchView& big_ = big_b_[buf];
     const std::size_t k = s_eff * mu_;
     const detail::PackedUpper gram(
         msg.section(dist::RoundSection::kGram).data(), k);
@@ -364,10 +393,14 @@ class LassoEngine final : public detail::EngineBase {
   std::span<double> pending_;
   std::vector<std::size_t> touched_;
 
-  // Pack-to-apply round state: the sampled indices and the zero-copy view
-  // over them (both backed by ws_, so they stay valid across the round).
-  std::span<std::size_t> idx_;
-  la::BatchView big_;
+  // Plan-to-apply round state, double-buffered for the pipeline: each
+  // buffer owns its sampled indices and the zero-copy view over them,
+  // backed by that buffer's Workspace (the view descriptors live in
+  // per-Workspace named pools, so two rounds can be live at once without
+  // clobbering each other).  Unpipelined solves only ever touch buffer 0.
+  la::Workspace round_ws_[2];
+  std::span<std::size_t> idx_b_[2];
+  la::BatchView big_b_[2];
   double pending_penalty_ = 0.0;
 
   // Trace scratch, reused across every trace point (no fresh vectors).

@@ -47,7 +47,20 @@ class SvmEngine final : public detail::EngineBase {
         alpha_(m_, 0.0),
         x_loc_(block_.local_cols(), 0.0),
         theta_(spec.unroll_depth()),
-        margins_(m_) {}
+        margins_(m_) {
+    if (spec_.pipeline) {
+      // Pre-size both round buffers up front, so short (never-speculating)
+      // and long solves make identical allocations
+      // (tests/core/test_steady_state.cpp).
+      const std::size_t k_max = spec_.unroll_depth();
+      for (la::Workspace& ws : round_ws_) {
+        ws.indices(kSlotIdx, k_max);
+        ws.member_index_spans(k_max);
+        ws.member_value_spans(k_max);
+        ws.member_rows(k_max);
+      }
+    }
+  }
 
  private:
   enum : std::size_t { kSlotIdx = 0 };  // index pool
@@ -73,22 +86,36 @@ class SvmEngine final : public detail::EngineBase {
     push_trace_point(iteration, primal - dual, snapshot);
   }
 
-  void pack_round(std::size_t s_eff, dist::RoundMessage& msg) override {
+  void plan_round(std::size_t s_eff, dist::RoundMessage& msg,
+                  std::size_t buf) override {
     // --- Sampling (seed-replicated, with replacement as in Algorithm 3).
-    idx_ = ws_.indices(kSlotIdx, s_eff);
+    //     Depends only on the generator stream, so the pipeline may run
+    //     this speculatively (rolled back by restoring the generator). ---
+    idx_b_[buf] = round_ws_[buf].indices(kSlotIdx, s_eff);
     for (std::size_t t = 0; t < s_eff; ++t)
-      idx_[t] = static_cast<std::size_t>(rng_.next_below(m_));
-    batch_ = block_.view_rows(idx_, ws_);
+      idx_b_[buf][t] = static_cast<std::size_t>(rng_.next_below(m_));
+    batch_b_[buf] = block_.view_rows(idx_b_[buf], round_ws_[buf]);
 
-    // --- The ONE message: [upper(G) | Yᵀx], fused straight into the
-    //     body (zero-copy row views). ---
-    const std::span<double> body =
-        msg.layout(detail::triangle_size(s_eff), s_eff, 0);
+    // --- Gram triangle of the ONE message: [upper(G) | Yᵀx]; the dot
+    //     section waits for finish_round (it reads the primal slice the
+    //     previous apply just updated). ---
+    msg.layout(detail::triangle_size(s_eff), s_eff, 0);
+    la::sampled_gram(batch_b_[buf],
+                     msg.section(dist::RoundSection::kGram));
+    comm_.add_flops(batch_b_[buf].gram_flops());
+  }
+
+  void finish_round(std::size_t s_eff, dist::RoundMessage& msg,
+                    std::size_t buf) override {
+    (void)s_eff;
     const std::array<std::span<const double>, 1> rhs{
         std::span<const double>(x_loc_)};
-    la::sampled_gram_and_dots(batch_, rhs, body);
-    comm_.add_flops(batch_.gram_flops() + batch_.dot_all_flops());
+    la::sampled_dots(batch_b_[buf], rhs, msg.dots());
+    comm_.add_flops(batch_b_[buf].dot_all_flops());
   }
+
+  void mark_sampler() override { rng_mark_ = rng_.state(); }
+  void rewind_sampler() override { rng_.set_state(rng_mark_); }
 
   void overlap_round(std::size_t s_eff) override {
     // The deferred-update table is reset while the reduction is in
@@ -96,8 +123,10 @@ class SvmEngine final : public detail::EngineBase {
     std::fill(theta_.begin(), theta_.begin() + s_eff, 0.0);
   }
 
-  void apply_round(std::size_t s_eff,
-                   const dist::RoundMessage& msg) override {
+  void apply_round(std::size_t s_eff, const dist::RoundMessage& msg,
+                   std::size_t buf) override {
+    const std::span<const std::size_t> idx_ = idx_b_[buf];
+    la::BatchView& batch_ = batch_b_[buf];
     const std::vector<double>& b = block_.labels();
     const detail::PackedUpper gram(
         msg.section(dist::RoundSection::kGram).data(), s_eff);
@@ -177,15 +206,19 @@ class SvmEngine final : public detail::EngineBase {
   std::vector<double> alpha_;  // dual iterate (replicated)
   std::vector<double> x_loc_;  // partitioned primal slice
 
-  // s-step workspace: arena-backed indices plus the θ table, sized by the
-  // first (largest) round and reused — the steady-state loop performs no
-  // heap allocation.  The round message lives in EngineBase's arena.
-  la::Workspace ws_;
+  // s-step workspace: the θ table, sized by the first (largest) round and
+  // reused — the steady-state loop performs no heap allocation.  The
+  // round message lives in EngineBase's arena.
   std::vector<double> theta_;
 
-  // Pack-to-apply round state (backed by ws_, valid across the round).
-  std::span<std::size_t> idx_;
-  la::BatchView batch_;
+  // Plan-to-apply round state, double-buffered for the pipeline: each
+  // buffer owns its sampled indices and zero-copy row view (descriptors
+  // live in that buffer's Workspace named pools).  Unpipelined solves
+  // only touch buffer 0.
+  la::Workspace round_ws_[2];
+  std::span<std::size_t> idx_b_[2];
+  la::BatchView batch_b_[2];
+  std::uint64_t rng_mark_ = 0;
 
   // Trace scratch, reused across every trace point (no fresh vectors).
   std::vector<double> margins_;

@@ -99,6 +99,10 @@ SolverSpec& SolverSpec::with_checkpoint(std::string path,
   checkpoint_every = every_n;
   return *this;
 }
+SolverSpec& SolverSpec::with_pipeline(bool on) {
+  pipeline = on;
+  return *this;
+}
 
 bool SolverSpec::is_sa() const {
   return std::string_view(algorithm).substr(0, 3) == "sa-";
@@ -220,6 +224,8 @@ std::size_t EngineBase::step(std::size_t iterations) {
     piggyback_wall_ = spec_.wall_clock_budget > 0.0;
     msg_.set_trailer_sizes(piggyback_objective_ ? 1 : 0,
                            piggyback_wall_ ? 1 : 0);
+    msg_b_.set_trailer_sizes(piggyback_objective_ ? 1 : 0,
+                             piggyback_wall_ ? 1 : 0);
     if (spec_.trace_every > 0) {
       record_trace_point(0);
       // Seed the objective-tolerance reference; criteria never fire on the
@@ -245,8 +251,23 @@ std::size_t EngineBase::step(std::size_t iterations) {
       check_stops_after_round();
     }
     if (observer_) observer_(iterations_done_);
-    if (spec_.checkpoint_every > 0 &&
-        since_checkpoint_ >= spec_.checkpoint_every) {
+    // Roll back an outstanding speculative plan whenever the next round is
+    // not the one it was planned for: the solve stopped, the step budget is
+    // exhausted (the caller may snapshot between steps), or a checkpoint is
+    // about to serialize the sampler.  Rewinding restores the coordinate
+    // stream exactly and drops the deferred flop charges, so everything
+    // observable — snapshots, traces, CommStats — matches the unpipelined
+    // loop bitwise; the only cost is redoing one plan's local work.
+    const bool checkpoint_due = spec_.checkpoint_every > 0 &&
+                                since_checkpoint_ >= spec_.checkpoint_every;
+    if (next_planned_ &&
+        (finished() || advanced >= iterations || checkpoint_due)) {
+      rewind_sampler();
+      next_planned_ = false;
+      deferred_flops_ = 0;
+      deferred_replicated_ = 0;
+    }
+    if (checkpoint_due) {
       write_checkpoint();
       since_checkpoint_ = 0;
     }
@@ -260,9 +281,34 @@ void EngineBase::run_round(std::size_t s_eff) {
   // the iterate ENTERING this round (pack time), so the criterion it
   // feeds lags the iterate by one round — the price of zero extra
   // messages.
-  pack_round(s_eff, msg_);
+  const std::size_t buf = cur_buf_;
+  dist::RoundMessage& msg = round_msg(buf);
+  const EngineClock::time_point t_pack = EngineClock::now();
+  if (next_planned_) {
+    // The pipeline planned this round during the previous reduction:
+    // commit the deferred flop charges and skip straight to the
+    // state-dependent half.
+    SA_CHECK(next_planned_s_ == s_eff,
+             "EngineBase: speculative plan depth mismatch");
+    next_planned_ = false;
+    comm_.add_flops(deferred_flops_);
+    comm_.add_replicated_flops(deferred_replicated_);
+    deferred_flops_ = 0;
+    deferred_replicated_ = 0;
+  } else {
+    plan_round(s_eff, msg, buf);
+  }
+  finish_round(s_eff, msg, buf);
+  if (spec_.pipeline && !msg_b_sized_) {
+    // Warm the idle buffer's arena slot to the live layout's size, so the
+    // first speculative plan allocates nothing — a short solve that never
+    // speculates and a long one stay heap-identical
+    // (tests/core/test_steady_state.cpp).
+    msg_ws_.doubles(buf == 0 ? kMsgSlotB : kMsgSlot, msg.total_words());
+    msg_b_sized_ = true;
+  }
   if (piggyback_objective_)
-    msg_.section(dist::RoundSection::kObjective)[0] =
+    msg.section(dist::RoundSection::kObjective)[0] =
         local_objective_partial();
   if (piggyback_wall_)
     // Replicated decision: every rank adopts rank 0's clock, so the ranks
@@ -271,18 +317,49 @@ void EngineBase::run_round(std::size_t s_eff) {
     // budget can be overshot by as much as two round durations (the old
     // post-round scalar allreduce overshot by one; the difference buys
     // zero extra messages).
-    msg_.section(dist::RoundSection::kStopFlags)[0] =
+    msg.section(dist::RoundSection::kStopFlags)[0] =
         comm_.rank() == 0 ? seconds_since(start_) : 0.0;
+  comm_.add_pack_seconds(seconds_since(t_pack));
 
-  msg_.reduce_start(comm_);
+  msg.reduce_start(comm_);
+  if (spec_.pipeline) {
+    // Speculatively plan the next round into the other buffer while the
+    // reduction is in flight (no communication happens in plan_round).
+    // The flops it charges are deferred so trace points taken after THIS
+    // round report exactly the unpipelined counters; if this round turns
+    // out to be the last one, step() rewinds the sampler and drops them.
+    const std::size_t done_after = iterations_done_ + s_eff;
+    if (done_after < spec_.max_iterations) {
+      const std::size_t next_s =
+          std::min(spec_.unroll_depth(), spec_.max_iterations - done_after);
+      const EngineClock::time_point t_plan = EngineClock::now();
+      const dist::CommStats before = comm_.stats();
+      mark_sampler();
+      plan_round(next_s, round_msg(1 - buf), 1 - buf);
+      dist::CommStats after = comm_.stats();
+      deferred_flops_ = after.flops - before.flops;
+      deferred_replicated_ =
+          after.replicated_flops - before.replicated_flops;
+      after.flops = before.flops;
+      after.replicated_flops = before.replicated_flops;
+      comm_.set_stats(after);
+      comm_.add_pack_seconds(seconds_since(t_plan));
+      next_planned_ = true;
+      next_planned_s_ = next_s;
+    }
+  }
   overlap_round(s_eff);  // replicated work, overlapped with the reduction
-  msg_.reduce_wait(comm_);
-  apply_round(s_eff, msg_);
+  const EngineClock::time_point t_wait = EngineClock::now();
+  msg.reduce_wait(comm_);
+  comm_.add_wait_seconds(seconds_since(t_wait));
+  const EngineClock::time_point t_apply = EngineClock::now();
+  apply_round(s_eff, msg, buf);
+  comm_.add_apply_seconds(seconds_since(t_apply));
 
   // Trailer sections → stopping criteria, zero extra collectives.
   if (piggyback_objective_ && !done_) {
     const double objective = objective_from_partial(
-        msg_.section(dist::RoundSection::kObjective)[0]);
+        msg.section(dist::RoundSection::kObjective)[0]);
     // Compare samples spaced at least trace_every iterations apart (round
     // granularity when tracing is off): single-round plateaus — one
     // unlucky zero-update block — must not stop a classical (s = 1)
@@ -304,11 +381,14 @@ void EngineBase::run_round(std::size_t s_eff) {
     }
   }
   if (piggyback_wall_ && !done_ &&
-      msg_.section(dist::RoundSection::kStopFlags)[0] >=
+      msg.section(dist::RoundSection::kStopFlags)[0] >=
           spec_.wall_clock_budget) {
     done_ = true;
     reason_ = StopReason::kWallClockBudget;
   }
+  // The next round lives where its plan was parked (step() may still roll
+  // the plan back; the fresh plan then simply reuses that buffer).
+  if (next_planned_) cur_buf_ = 1 - buf;
 }
 
 void EngineBase::check_stops_after_round() {
@@ -345,6 +425,13 @@ SolveResult EngineBase::finish() {
   SA_CHECK(!result_taken_, "Solver::finish: result already taken");
   result_taken_ = true;
   done_ = true;
+  if (ckpt_async_) {
+    // The terminal checkpoint must be on disk before the result is handed
+    // back (callers read the file right after run()).
+    const EngineClock::time_point t0 = EngineClock::now();
+    ckpt_async_->drain();
+    comm_.add_checkpoint_seconds(seconds_since(t0));
+  }
   // Always capture the terminal state so final_objective() reflects the
   // returned iterate even when H is not a multiple of the trace cadence.
   if (spec_.trace_every > 0 &&
@@ -572,7 +659,16 @@ void EngineBase::load_state(const io::SnapshotReader& in) {
     piggyback_wall_ = spec_.wall_clock_budget > 0.0;
     msg_.set_trailer_sizes(piggyback_objective_ ? 1 : 0,
                            piggyback_wall_ ? 1 : 0);
+    msg_b_.set_trailer_sizes(piggyback_objective_ ? 1 : 0,
+                             piggyback_wall_ ? 1 : 0);
   }
+  // No speculation is ever outstanding between steps (step() rewinds at
+  // its budget boundary), so a restore only needs to re-seat the buffer
+  // cursor.
+  cur_buf_ = 0;
+  next_planned_ = false;
+  deferred_flops_ = 0;
+  deferred_replicated_ = 0;
   since_checkpoint_ = 0;
   comm_.set_stats(stats_from_words(stats_words));
 }
@@ -624,17 +720,33 @@ void EngineBase::restore_from_file(const std::string& path) {
 }
 
 void EngineBase::write_checkpoint() {
+  // Serialization is collective (save_state gathers partitioned state), so
+  // it runs on every rank every checkpoint — only rank 0's disk write is
+  // asynchronous, which is why a skipped write needs no replication.
+  const EngineClock::time_point t0 = EngineClock::now();
   save_state(ckpt_writer_);
-  if (comm_.rank() != 0) return;
-  if (ckpt_tmp_path_.empty()) {
-    // Built once; later checkpoints reuse the string (zero-allocation
-    // steady state).
-    ckpt_tmp_path_.reserve(spec_.checkpoint_path.size() + 4);
-    ckpt_tmp_path_ = spec_.checkpoint_path;
-    ckpt_tmp_path_ += ".tmp";
-  }
-  io::write_snapshot_file(ckpt_writer_, spec_.checkpoint_path,
+  if (comm_.rank() == 0) {
+    if (ckpt_tmp_path_.empty()) {
+      // Built once; later checkpoints reuse the string (zero-allocation
+      // steady state).
+      ckpt_tmp_path_.reserve(spec_.checkpoint_path.size() + 4);
+      ckpt_tmp_path_ = spec_.checkpoint_path;
+      ckpt_tmp_path_ += ".tmp";
+    }
+    if (spec_.pipeline) {
+      // Hand the image to the writer thread; the round loop never blocks
+      // on the disk.  Back-pressure (previous write still in flight) skips
+      // this checkpoint — logged and counted, never waited for.
+      if (!ckpt_async_)
+        ckpt_async_ = std::make_unique<io::AsyncCheckpointWriter>();
+      ckpt_async_->submit(ckpt_writer_.finalize(), spec_.checkpoint_path,
                           ckpt_tmp_path_);
+    } else {
+      io::write_snapshot_file(ckpt_writer_, spec_.checkpoint_path,
+                              ckpt_tmp_path_);
+    }
+  }
+  comm_.add_checkpoint_seconds(seconds_since(t0));
 }
 
 SolverSpec to_spec(const LassoOptions& options, std::size_t s) {

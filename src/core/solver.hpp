@@ -130,6 +130,18 @@ struct SolverSpec {
   std::size_t checkpoint_every = 0;  ///< iterations between snapshots
                                      ///< (0 = off; set both or neither)
 
+  // -- round pipeline ---------------------------------------------------
+  // Double-buffered round pipeline (default on): round k+1's coordinate
+  // draw and Gram triangle are packed while round k's allreduce is in
+  // flight, and checkpoints are handed to a dedicated rank-0 writer
+  // thread instead of stalling every rank behind the file write.  The
+  // pipelined loop is bitwise identical to the unpipelined one — same
+  // iterates, trace, stop reason, snapshots, and metered counters (a
+  // stopping round's speculative plan is rolled back without observable
+  // side effects) — so the toggle only trades memory (a second message
+  // buffer) for overlap.  Pinned by tests/core/test_round_pipeline.cpp.
+  bool pipeline = true;
+
   // -- builder-style construction ------------------------------------
   static SolverSpec make(std::string algorithm_id);
   SolverSpec& with_lambda(double v);
@@ -147,6 +159,7 @@ struct SolverSpec {
   SolverSpec& with_gap_tolerance(double tol);
   SolverSpec& with_wall_clock_budget(double seconds);
   SolverSpec& with_checkpoint(std::string path, std::size_t every_n);
+  SolverSpec& with_pipeline(bool on);
 
   /// True for the synchronization-avoiding ids ("sa-" prefix).
   bool is_sa() const;

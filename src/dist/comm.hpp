@@ -77,6 +77,18 @@ struct CommStats {
   std::size_t collectives = 0;
   std::array<SectionTraffic, kRoundSectionCount> sections{};
 
+  // Round-phase wall-time meters (seconds), charged by the engine round
+  // skeleton so the pipeline's overlap is measurable: how long this rank
+  // spent packing messages, blocked in reduce_wait, applying the reduced
+  // sums, and serializing/handing off checkpoints.  These are measured,
+  // not replayed: snapshots exclude them (the wire format is unchanged),
+  // so a resumed run restarts them from zero, and bitwise-parity checks
+  // must compare the counters above, never the timers.
+  double pack_seconds = 0.0;        ///< plan + pack (incl. speculative)
+  double wait_seconds = 0.0;        ///< blocked in reduce_wait
+  double apply_seconds = 0.0;       ///< unpack + inner iterations
+  double checkpoint_seconds = 0.0;  ///< serialize + hand off snapshots
+
   /// Bytes corresponding to `words` (the library moves 8-byte doubles).
   std::size_t bytes() const { return 8 * words; }
 
@@ -152,6 +164,13 @@ class Communicator {
   void add_replicated_flops(std::size_t flops) {
     stats_.replicated_flops += flops;
   }
+
+  // Round-phase wall-time charging (see CommStats); called by the engine
+  // round skeleton only.
+  void add_pack_seconds(double s) { stats_.pack_seconds += s; }
+  void add_wait_seconds(double s) { stats_.wait_seconds += s; }
+  void add_apply_seconds(double s) { stats_.apply_seconds += s; }
+  void add_checkpoint_seconds(double s) { stats_.checkpoint_seconds += s; }
 
   /// Attributes `words` payload words of the current (or just-charged)
   /// collective to section `s`: the section's word counter grows by

@@ -77,6 +77,14 @@ class RoundMessage {
   /// The whole packed buffer (every section) — what goes on the wire.
   std::span<double> packed() { return buffer_; }
 
+  /// The contiguous [dots1 | dots2] half of the body — the state-DEPENDENT
+  /// sections the split pack path (la::sampled_dots) writes after the
+  /// previous round's apply, while the Gram triangle may have been packed
+  /// speculatively a round earlier.
+  std::span<double> dots() {
+    return buffer_.subspan(offset_[1], words_[1] + words_[2]);
+  }
+
   /// Starts the round's ONE collective (nonblocking) and attributes
   /// per-section traffic to the communicator's CommStats.
   void reduce_start(Communicator& comm);

@@ -1,0 +1,119 @@
+#include "io/async_writer.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "io/snapshot.hpp"
+
+namespace sa::io {
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(WriteFn write)
+    : write_(write ? std::move(write)
+                   : WriteFn(
+                         [](std::span<const std::uint8_t> image,
+                            const std::string& path,
+                            const std::string& tmp_path) {
+                           write_snapshot_bytes(image, path, tmp_path);
+                         })),
+      thread_([this] { worker(); }) {}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  drain();
+  {
+    std::scoped_lock guard(lock_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool AsyncCheckpointWriter::submit(std::span<const std::uint8_t> image,
+                                   const std::string& path,
+                                   const std::string& tmp_path) {
+  {
+    std::scoped_lock guard(lock_);
+    if (pending_ || writing_) {
+      ++skips_;
+    } else {
+      image_.assign(image.begin(), image.end());
+      path_ = path;
+      tmp_path_ = tmp_path;
+      pending_ = true;
+      cv_.notify_all();
+      return true;
+    }
+  }
+  // Logged outside the lock; the counter is the test surface.
+  std::fprintf(stderr,
+               "sa-opt: checkpoint skipped, previous write still in "
+               "flight: %s\n",
+               path.c_str());
+  return false;
+}
+
+void AsyncCheckpointWriter::drain() {
+  std::unique_lock guard(lock_);
+  cv_.wait(guard, [this] { return !pending_ && !writing_; });
+}
+
+bool AsyncCheckpointWriter::busy() const {
+  std::scoped_lock guard(lock_);
+  return pending_ || writing_;
+}
+
+std::size_t AsyncCheckpointWriter::writes() const {
+  std::scoped_lock guard(lock_);
+  return writes_;
+}
+
+std::size_t AsyncCheckpointWriter::skips() const {
+  std::scoped_lock guard(lock_);
+  return skips_;
+}
+
+std::size_t AsyncCheckpointWriter::write_errors() const {
+  std::scoped_lock guard(lock_);
+  return errors_;
+}
+
+void AsyncCheckpointWriter::worker() {
+  std::unique_lock guard(lock_);
+  for (;;) {
+    cv_.wait(guard, [this] { return pending_ || stop_; });
+    if (!pending_) return;  // stop_ with nothing queued
+    // Claim the pending image (swap — no copy, both buffers grow-only)
+    // and release the lock for the disk write, so submit() can queue the
+    // next image (or skip) while this one is on its way out.
+    writing_image_.swap(image_);
+    writing_path_.swap(path_);
+    writing_tmp_path_.swap(tmp_path_);
+    pending_ = false;
+    writing_ = true;
+    guard.unlock();
+    bool failed = false;
+    try {
+      write_(writing_image_, writing_path_, writing_tmp_path_);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sa-opt: checkpoint write failed: %s\n",
+                   error.what());
+      failed = true;
+    }
+    guard.lock();
+    // Swap the (grown) buffers back into the pending slot so the next
+    // submit reuses their capacity.  Safe unconditionally: submit skips
+    // while writing_ is set, so the pending slot is empty here.
+    writing_image_.swap(image_);
+    writing_path_.swap(path_);
+    writing_tmp_path_.swap(tmp_path_);
+    writing_ = false;
+    if (failed) {
+      ++errors_;
+    } else {
+      ++writes_;
+    }
+    cv_.notify_all();  // wake drain()
+  }
+}
+
+}  // namespace sa::io

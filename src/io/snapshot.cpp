@@ -287,6 +287,17 @@ bool SnapshotReader::has(std::string_view name) const {
   return false;
 }
 
+std::vector<std::string> SnapshotReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const Section& section : sections_) names.push_back(section.name);
+  return names;
+}
+
+bool SnapshotReader::section_is_reals(std::string_view name) const {
+  return require(name).is_reals;
+}
+
 const SnapshotReader::Section& SnapshotReader::require(
     std::string_view name) const {
   for (const Section& section : sections_)
@@ -364,7 +375,12 @@ std::vector<std::uint8_t> read_snapshot_bytes(const std::string& path) {
 
 void write_snapshot_file(SnapshotWriter& writer, const std::string& path,
                          const std::string& tmp_path) {
-  const std::span<const std::uint8_t> image = writer.finalize();
+  write_snapshot_bytes(writer.finalize(), path, tmp_path);
+}
+
+void write_snapshot_bytes(std::span<const std::uint8_t> image,
+                          const std::string& path,
+                          const std::string& tmp_path) {
   std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
   if (file == nullptr) {
     fail("cannot create '" + tmp_path + "': " + std::strerror(errno));

@@ -116,6 +116,14 @@ class SnapshotReader {
 
   bool has(std::string_view name) const;
 
+  /// Names of all sections in file order — lets tools and tests diff two
+  /// snapshots structurally (e.g. everything except wall-clock sections).
+  std::vector<std::string> section_names() const;
+
+  /// True when the section holds doubles, false for u64 words; throws
+  /// SnapshotError when the section is missing.
+  bool section_is_reals(std::string_view name) const;
+
   /// Section accessors throw SnapshotError when the section is missing or
   /// has the wrong type; the sized overloads also verify the element
   /// count.
@@ -150,10 +158,18 @@ std::uint64_t fnv1a_words(std::span<const std::size_t> words);
 /// Reads a whole file; throws SnapshotError (naming the path) on failure.
 std::vector<std::uint8_t> read_snapshot_bytes(const std::string& path);
 
-/// Finalizes `writer` and writes the image atomically: the bytes go to
+/// Writes a finalized snapshot image atomically: the bytes go to
 /// `tmp_path`, which is then renamed over `path`, so a concurrent reader
 /// (or a crash mid-write) sees either the previous snapshot or the new
 /// one, never a torn file.  Both paths must be on the same filesystem.
+/// The raw-image entry point is what the async checkpoint writer's thread
+/// calls (io/async_writer.hpp) — the image was copied out of the engine's
+/// SnapshotWriter at submit time.
+void write_snapshot_bytes(std::span<const std::uint8_t> image,
+                          const std::string& path,
+                          const std::string& tmp_path);
+
+/// Finalizes `writer`, then write_snapshot_bytes.
 void write_snapshot_file(SnapshotWriter& writer, const std::string& path,
                          const std::string& tmp_path);
 

@@ -328,6 +328,20 @@ void sampled_gram_and_dots(const BatchView& y,
 #endif
 }
 
+void sampled_gram(const BatchView& y, std::span<double> out) {
+  sampled_gram_and_dots(y, {}, out);
+}
+
+void sampled_dots(const BatchView& y,
+                  std::span<const std::span<const double>> xs,
+                  std::span<double> out) {
+  const std::size_t k = y.size();
+  SA_CHECK(out.size() == xs.size() * k,
+           "sampled_dots: buffer size mismatch");
+  for (std::size_t sct = 0; sct < xs.size(); ++sct)
+    batch_dots(y, xs[sct], out.subspan(sct * k, k));
+}
+
 void batch_dots(const BatchView& y, std::span<const double> x,
                 std::span<double> out) {
   SA_CHECK(x.size() == y.dim(), "batch_dots: length mismatch");

@@ -140,4 +140,25 @@ void sampled_gram_and_dots(const BatchView& y,
 void batch_dots(const BatchView& y, std::span<const double> x,
                 std::span<double> out);
 
+// Split entry points for the double-buffered round pipeline
+// (core/engine.hpp): a round's Gram triangle depends only on the data and
+// the coordinate draw, so it can be packed for round k+1 while round k's
+// reduction is in flight; the dot sections read residuals that round k's
+// apply updates, so they are packed afterwards.  Both wrap the kernels
+// above — sampled_gram(v, g) followed by sampled_dots(v, xs, d) writes
+// bit-identical values to one sampled_gram_and_dots(v, xs, [g | d]) call
+// (the dense fused path already routes its dot sections through
+// batch_dots, and the sparse fused row uses the same sequential
+// accumulation order; asserted by tests/la/test_batch_view.cpp).
+
+/// Packed upper-triangular Gram of the view alone: out must have
+/// k(k+1)/2 entries (== fused_buffer_size(size(), 0)).
+void sampled_gram(const BatchView& y, std::span<double> out);
+
+/// The dot sections alone: out = [Yᵀxs[0] | Yᵀxs[1] | …], one length-k
+/// section per right-hand side (out.size() == xs.size() · size()).
+void sampled_dots(const BatchView& y,
+                  std::span<const std::span<const double>> xs,
+                  std::span<double> out);
+
 }  // namespace sa::la

@@ -1,0 +1,267 @@
+// The double-buffered round pipeline must be a pure latency optimisation:
+// with SolverSpec::pipeline on (the default), every registered solver's
+// full observable behaviour — iterates, duals, every traced objective and
+// counter, stop reason, snapshot bytes — must be bitwise identical to the
+// unpipelined loop, serial and 4-rank, while still paying exactly ONE
+// collective per outer round.  The speculative plan of round k+1 that a
+// stopping round discards must leave no side effects (sampler rewound,
+// deferred flop charges dropped).
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "data/synthetic.hpp"
+#include "dist/thread_comm.hpp"
+#include "io/snapshot.hpp"
+
+namespace sa::core {
+namespace {
+
+data::Dataset regression_problem() {
+  data::RegressionConfig cfg;
+  cfg.num_points = 70;
+  cfg.num_features = 30;
+  cfg.density = 0.4;
+  cfg.support_size = 5;
+  cfg.noise_sigma = 0.02;
+  cfg.seed = 42;
+  return data::make_regression(cfg).dataset;
+}
+
+data::Dataset classification_problem() {
+  data::ClassificationConfig cfg;
+  cfg.num_points = 60;
+  cfg.num_features = 40;
+  cfg.density = 0.4;
+  cfg.seed = 42;
+  return data::make_classification(cfg);
+}
+
+bool is_svm(const std::string& id) {
+  return id == "svm" || id == "sa-svm";
+}
+
+const data::Dataset& dataset_for(const std::string& id) {
+  static const data::Dataset regression = regression_problem();
+  static const data::Dataset classification = classification_problem();
+  return is_svm(id) ? classification : regression;
+}
+
+data::Partition partition_for(const std::string& id, int ranks) {
+  const data::Dataset& d = dataset_for(id);
+  const auto* info = SolverRegistry::instance().find(id);
+  const std::size_t extent = info->axis == PartitionAxis::kRows
+                                 ? d.num_points()
+                                 : d.num_features();
+  return data::Partition::block(extent, ranks);
+}
+
+/// A multi-round workload for `id` with objective-tolerance stopping
+/// enabled (tuned not to fire), so the piggy-backed trailer path runs too.
+SolverSpec spec_for(const std::string& id, bool pipeline) {
+  SolverSpec spec = SolverSpec::make(id)
+                        .with_max_iterations(30)
+                        .with_trace_every(6)
+                        .with_s(6)
+                        .with_seed(42)
+                        .with_objective_tolerance(1e-300)
+                        .with_pipeline(pipeline);
+  if (is_svm(id)) {
+    spec.with_lambda(1.0).with_loss(SvmLoss::kL2);
+  } else if (id == "group-lasso" || id == "sa-group-lasso") {
+    spec.with_lambda(0.1).with_groups(
+        GroupStructure::uniform(dataset_for(id).num_features(), 5));
+  } else {
+    spec.with_lambda(0.05).with_block_size(3).with_acceleration(true);
+  }
+  return spec;
+}
+
+/// The deterministic counters of CommStats (the wall-time meters are
+/// measured, not replayed, so they legitimately differ between the
+/// pipelined and unpipelined runs).
+void expect_counters_eq(const dist::CommStats& a, const dist::CommStats& b,
+                        const std::string& where) {
+  EXPECT_EQ(a.flops, b.flops) << where;
+  EXPECT_EQ(a.replicated_flops, b.replicated_flops) << where;
+  EXPECT_EQ(a.messages, b.messages) << where;
+  EXPECT_EQ(a.words, b.words) << where;
+  EXPECT_EQ(a.collectives, b.collectives) << where;
+  for (std::size_t i = 0; i < dist::kRoundSectionCount; ++i) {
+    EXPECT_EQ(a.sections[i].collectives, b.sections[i].collectives)
+        << where << " section " << i;
+    EXPECT_EQ(a.sections[i].words, b.sections[i].words)
+        << where << " section " << i;
+  }
+}
+
+void expect_results_identical(const SolveResult& on, const SolveResult& off,
+                              const std::string& id) {
+  EXPECT_EQ(on.x, off.x) << id;
+  EXPECT_EQ(on.alpha, off.alpha) << id;
+  EXPECT_EQ(on.stop_reason, off.stop_reason) << id;
+  EXPECT_EQ(on.trace.iterations_run, off.trace.iterations_run) << id;
+  ASSERT_EQ(on.trace.points.size(), off.trace.points.size()) << id;
+  for (std::size_t i = 0; i < on.trace.points.size(); ++i) {
+    EXPECT_EQ(on.trace.points[i].iteration, off.trace.points[i].iteration)
+        << id << " point " << i;
+    EXPECT_EQ(on.trace.points[i].objective, off.trace.points[i].objective)
+        << id << " point " << i;
+    expect_counters_eq(on.trace.points[i].stats, off.trace.points[i].stats,
+                       id + " point " + std::to_string(i));
+  }
+}
+
+class RoundPipeline : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundPipeline, SerialBitwiseParityWithUnpipelinedLoop) {
+  const std::string id = GetParam();
+  const data::Dataset& d = dataset_for(id);
+  const SolveResult on = solve(d, spec_for(id, /*pipeline=*/true));
+  const SolveResult off = solve(d, spec_for(id, /*pipeline=*/false));
+  expect_results_identical(on, off, id);
+}
+
+TEST_P(RoundPipeline, FourRankBitwiseParityWithUnpipelinedLoop) {
+  const std::string id = GetParam();
+  const data::Dataset& d = dataset_for(id);
+  const int p = 4;
+  const data::Partition part = partition_for(id, p);
+
+  std::vector<SolveResult> on(p), off(p);
+  std::mutex lock;
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    SolveResult r = make_solver(comm, d, part, spec_for(id, true))->run();
+    std::scoped_lock guard(lock);
+    on[comm.rank()] = std::move(r);
+  });
+  dist::run_distributed(p, [&](dist::Communicator& comm) {
+    SolveResult r = make_solver(comm, d, part, spec_for(id, false))->run();
+    std::scoped_lock guard(lock);
+    off[comm.rank()] = std::move(r);
+  });
+  for (int r = 0; r < p; ++r)
+    expect_results_identical(on[r], off[r],
+                             id + " rank " + std::to_string(r));
+}
+
+/// Every snapshot section except the measured wall clocks (elapsed
+/// seconds in core/state_reals[2], per-point core/trace_wall) must match
+/// bitwise — those are wall-time meters, legitimately different between
+/// any two runs, pipelined or not.
+void expect_snapshots_equivalent(const std::vector<std::uint8_t>& on,
+                                 const std::vector<std::uint8_t>& off,
+                                 const std::string& where) {
+  const io::SnapshotReader a = io::SnapshotReader::parse(on);
+  const io::SnapshotReader b = io::SnapshotReader::parse(off);
+  EXPECT_EQ(a.algorithm(), b.algorithm()) << where;
+  const std::vector<std::string> names = a.section_names();
+  ASSERT_EQ(names, b.section_names()) << where;
+  for (const std::string& name : names) {
+    if (name == "core/trace_wall") continue;
+    ASSERT_EQ(a.section_is_reals(name), b.section_is_reals(name))
+        << where << " section " << name;
+    if (!a.section_is_reals(name)) {
+      const std::span<const std::uint64_t> wa = a.u64s(name);
+      const std::span<const std::uint64_t> wb = b.u64s(name);
+      ASSERT_EQ(wa.size(), wb.size()) << where << " section " << name;
+      for (std::size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(wa[i], wb[i]) << where << " section " << name
+                                << " word " << i;
+      continue;
+    }
+    const std::span<const double> ra = a.doubles(name);
+    const std::span<const double> rb = b.doubles(name);
+    ASSERT_EQ(ra.size(), rb.size()) << where << " section " << name;
+    const std::size_t skip_wall =
+        name == "core/state_reals" ? 2 : ra.size();  // [2] = elapsed wall
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (i == skip_wall) continue;
+      EXPECT_EQ(ra[i], rb[i]) << where << " section " << name << " real "
+                              << i;
+    }
+  }
+}
+
+// A stopping round packs one speculative message that must be discarded
+// without observable side effects: a snapshot taken at a step boundary —
+// where the rollback just happened — must match one taken by a solver
+// that never speculated, in every section except the wall clocks.
+TEST_P(RoundPipeline, SnapshotAtStepBoundaryMatchesUnpipelinedState) {
+  const std::string id = GetParam();
+  const data::Dataset& d = dataset_for(id);
+  const data::Partition part = partition_for(id, 1);
+  dist::SerialComm c_on, c_off;
+  auto on = make_solver(c_on, d, part, spec_for(id, true));
+  auto off = make_solver(c_off, d, part, spec_for(id, false));
+  // Odd step budgets force mid-solve boundaries that are not round
+  // boundaries of the s = 6 unrolling.
+  for (const std::size_t budget : {5u, 1u, 13u}) {
+    EXPECT_EQ(on->step(budget), off->step(budget)) << id;
+    expect_snapshots_equivalent(
+        on->snapshot(), off->snapshot(),
+        id + " at step budget " + std::to_string(budget));
+  }
+  expect_results_identical(on->finish(), off->finish(), id);
+}
+
+// Double buffering must preserve the round plane's core invariant:
+// exactly ONE metered collective per outer round, run()-driven so the
+// pipeline reaches steady state (plans consumed, not rolled back).
+TEST_P(RoundPipeline, OneCollectivePerRoundSurvivesPipelining) {
+  const std::string id = GetParam();
+  const data::Dataset& d = dataset_for(id);
+  dist::SerialComm comm;
+  auto solver =
+      make_solver(comm, d, partition_for(id, 1), spec_for(id, true));
+  std::size_t rounds = 0;
+  solver->set_observer([&](std::size_t) { ++rounds; });
+  while (!solver->finished()) solver->step(1000000);
+  const dist::CommStats pre_finish = comm.stats();
+  (void)solver->finish();
+  ASSERT_GT(rounds, 0u);
+  EXPECT_EQ(pre_finish.collectives, rounds) << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, RoundPipeline,
+    ::testing::Values("lasso", "sa-lasso", "group-lasso", "sa-group-lasso",
+                      "svm", "sa-svm"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Checkpointing under the pipeline goes through the async writer; the
+// speculative plan is rolled back before every serialization, and the
+// file left on disk after finish() (drained) must resume bitwise onto the
+// original trajectory no matter which checkpoint round's image survived
+// the skip-under-backpressure policy.
+TEST(RoundPipeline, AsyncCheckpointFileResumesBitwise) {
+  const data::Dataset d = regression_problem();
+  const std::string path =
+      ::testing::TempDir() + "sa_pipeline_ckpt.snap";
+  SolverSpec spec = spec_for("sa-lasso", /*pipeline=*/true);
+  spec.with_checkpoint(path, 6);
+  const SolveResult full = solve(d, spec);
+
+  dist::SerialComm comm;
+  auto resumed =
+      make_solver(comm, d, data::Partition::block(d.num_points(), 1), spec);
+  resumed->restore_from_file(path);
+  const SolveResult rest = resumed->run();
+  EXPECT_EQ(rest.x, full.x);
+  EXPECT_EQ(rest.trace.iterations_run, full.trace.iterations_run);
+  EXPECT_EQ(rest.stop_reason, full.stop_reason);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sa::core

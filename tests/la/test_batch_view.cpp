@@ -107,6 +107,50 @@ TEST_P(StoragePairSweep, FusedKernelBitIdenticalToCopyPipeline) {
   }
 }
 
+// The round pipeline packs the two halves at different times (the Gram
+// triangle speculatively, the dot sections after the previous apply), so
+// the split entry points must reproduce the fused kernel bit-for-bit on
+// both storage kinds and in both solver modes.
+TEST_P(StoragePairSweep, SplitGramAndDotsBitIdenticalToFusedKernel) {
+  const data::Dataset d = make_dataset(GetParam(), 31);
+  const core::RowBlock block(
+      d, data::Partition::block(d.num_points(), 1), 0);
+  const std::size_t m = block.local_rows();
+
+  data::CoordinateSampler sampler(d.num_features(), 4, 7);
+  Workspace ws_fused, ws_split;
+  for (const std::size_t blocks : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}}) {
+    std::vector<std::size_t> cols(blocks * 4);
+    for (std::size_t t = 0; t < blocks; ++t)
+      sampler.next_into(std::span<std::size_t>(cols).subspan(t * 4, 4));
+    const std::size_t k = cols.size();
+    const std::size_t tri = core::detail::triangle_size(k);
+
+    const std::array<std::vector<double>, 2> rhs{random_vector(m, 11),
+                                                 random_vector(m, 12)};
+    for (const std::size_t sections : {std::size_t{2}, std::size_t{1}}) {
+      const std::span<const std::vector<double>> xs_vecs(rhs.data(),
+                                                         sections);
+      const std::vector<double> want =
+          view_pipeline(block, cols, xs_vecs, ws_fused);
+
+      const BatchView view = block.view_columns(cols, ws_split);
+      std::vector<std::span<const double>> xs(xs_vecs.begin(),
+                                              xs_vecs.end());
+      std::vector<double> got(tri + sections * k);
+      sampled_gram(view, std::span<double>(got.data(), tri));
+      sampled_dots(view, xs,
+                   std::span<double>(got.data() + tri, sections * k));
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i])
+            << "entry " << i << " blocks " << blocks << " sections "
+            << sections;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Densities, StoragePairSweep,
                          ::testing::Values(0.05, 0.5));
 
