@@ -23,6 +23,7 @@
 #include "core/trace_io.hpp"
 #include "data/libsvm_io.hpp"
 #include "data/scaling.hpp"
+#include "dist/fault.hpp"
 #include "dist/thread_comm.hpp"
 
 namespace {
@@ -43,6 +44,7 @@ struct Args {
   std::string checkpoint;       // periodic snapshot file (rank 0 writes)
   std::size_t checkpoint_every = 1000;  // iterations between snapshots
   std::string resume;           // restore from this snapshot before solving
+  std::string inject_faults;    // --inject-faults "<seed>:<kind>@<idx>,..."
 };
 
 void print_registry() {
@@ -90,7 +92,17 @@ void print_registry() {
       "  --checkpoint-every N  snapshot cadence (default 1000)\n"
       "  --resume F      restore solver state from snapshot F, then\n"
       "                  continue to -H (bitwise identical to an\n"
-      "                  uninterrupted run; pass the same solver flags)\n",
+      "                  uninterrupted run; pass the same solver flags)\n"
+      "  --inject-faults SPEC  deterministic fault schedule\n"
+      "                  \"<seed>:<kind>@<index>[/<rank>],...\" with kind\n"
+      "                  delay|stall|corrupt|drop|lost (see README)\n"
+      "  --max-retries N   replay a failed round up to N times from the\n"
+      "                  last checkpoint image (default 0: fail fast)\n"
+      "  --retry-backoff X seconds before the first replay, doubling per\n"
+      "                  consecutive failure (default 0)\n"
+      "  --round-deadline X  per-round reduce-wait deadline in seconds;\n"
+      "                  a stalled collective raises a timeout (default\n"
+      "                  off)\n",
       defaults.lambda, defaults.block_size, defaults.max_iterations,
       defaults.loss == sa::core::SvmLoss::kL1 ? "l1" : "l2",
       static_cast<unsigned long long>(defaults.seed));
@@ -103,8 +115,20 @@ Args parse(int argc, char** argv) {
   bool solver_flag = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    // Both `--flag value` and `--flag=value` spellings are accepted.
+    std::string inline_value;
+    bool has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      if (const std::size_t eq = flag.find('=');
+          eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_inline = true;
+      }
+    }
     const auto value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
@@ -161,6 +185,14 @@ Args parse(int argc, char** argv) {
       if (args.checkpoint_every == 0) usage();
     } else if (flag == "--resume") {
       args.resume = value();
+    } else if (flag == "--inject-faults") {
+      args.inject_faults = value();
+    } else if (flag == "--max-retries") {
+      args.spec.max_retries = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--retry-backoff") {
+      args.spec.retry_backoff = std::atof(value());
+    } else if (flag == "--round-deadline") {
+      args.spec.round_deadline = std::atof(value());
     } else if (!flag.empty() && flag[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage();
@@ -206,8 +238,14 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
   if (!args.resume.empty())
     std::printf("resuming from %s\n", args.resume.c_str());
 
-  const sa::core::SolveResult result =
-      sa::core::solve_on_ranks(dataset, spec, args.ranks, args.resume);
+  sa::dist::FaultPlan plan;
+  if (!args.inject_faults.empty()) {
+    plan = sa::dist::FaultPlan::parse(args.inject_faults);
+    std::printf("injecting faults: %s\n", plan.format().c_str());
+  }
+  const sa::core::SolveResult result = sa::core::solve_on_ranks(
+      dataset, spec, args.ranks, args.resume,
+      plan.empty() ? nullptr : &plan);
 
   const bool svm = spec.family() == sa::core::SolverFamily::kSvm;
   for (const auto& point : result.trace.points)
@@ -226,6 +264,14 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
               "checkpoint %.4f  (pipeline %s)\n",
               st.pack_seconds, st.wait_seconds, st.apply_seconds,
               st.checkpoint_seconds, spec.pipeline ? "on" : "off");
+  // Printed whenever the fault plane was armed, even when nothing fired —
+  // "retries 0" is the all-clear the chaos smoke greps for.
+  if (!args.inject_faults.empty() || spec.fault_detection()) {
+    std::printf("recovery: retries %zu (timeouts %zu, corruptions %zu, "
+                "rank-lost %zu), checkpoint skips %zu, recovery %.4fs\n",
+                st.retries, st.timeouts, st.corruptions, st.rank_losses,
+                st.checkpoint_skips, st.recovery_seconds);
+  }
   if (svm) {
     std::printf("train accuracy: %.2f%%\n",
                 100.0 * sa::core::svm_accuracy(dataset.a, dataset.b,
@@ -241,10 +287,11 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
 }
 
 int run_path(const Args& args, const sa::data::Dataset& dataset) {
-  if (!args.checkpoint.empty() || !args.resume.empty()) {
+  if (!args.checkpoint.empty() || !args.resume.empty() ||
+      !args.inject_faults.empty()) {
     std::fprintf(stderr,
-                 "error: --checkpoint/--resume apply to single solves; "
-                 "path mode does not support them\n");
+                 "error: --checkpoint/--resume/--inject-faults apply to "
+                 "single solves; path mode does not support them\n");
     return 2;
   }
   sa::core::PathOptions options;

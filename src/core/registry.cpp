@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "core/engine.hpp"
+#include "dist/fault.hpp"
 #include "dist/thread_comm.hpp"
 
 namespace sa::core {
@@ -91,24 +92,32 @@ std::unique_ptr<Solver> make_solver(dist::Communicator& comm,
 }
 
 SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec,
-                  const std::string& resume_from) {
+                  const std::string& resume_from,
+                  const dist::FaultPlan* faults) {
   const AlgorithmInfo& info =
       SolverRegistry::instance().require(spec.algorithm);
-  dist::SerialComm comm;
+  dist::SerialComm base_comm;
+  std::unique_ptr<dist::FaultyComm> faulty;
+  dist::Communicator* comm = &base_comm;
+  if (faults != nullptr && !faults->empty()) {
+    faulty = std::make_unique<dist::FaultyComm>(base_comm, *faults);
+    comm = faulty.get();
+  }
   const std::size_t extent = info.axis == PartitionAxis::kRows
                                  ? dataset.num_points()
                                  : dataset.num_features();
   const std::unique_ptr<Solver> solver =
-      info.factory(comm, dataset, data::Partition::block(extent, 1), spec);
+      info.factory(*comm, dataset, data::Partition::block(extent, 1), spec);
   if (!resume_from.empty()) solver->restore_from_file(resume_from);
   return solver->run();
 }
 
 SolveResult solve_on_ranks(const data::Dataset& dataset,
                            const SolverSpec& spec, int ranks,
-                           const std::string& resume_from) {
+                           const std::string& resume_from,
+                           const dist::FaultPlan* faults) {
   SA_CHECK(ranks >= 1, "solve_on_ranks: ranks must be >= 1");
-  if (ranks == 1) return solve(dataset, spec, resume_from);
+  if (ranks == 1) return solve(dataset, spec, resume_from, faults);
   const AlgorithmInfo& info =
       SolverRegistry::instance().require(spec.algorithm);
   const std::size_t extent = info.axis == PartitionAxis::kRows
@@ -118,11 +127,19 @@ SolveResult solve_on_ranks(const data::Dataset& dataset,
   SolveResult result;
   std::mutex lock;
   dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+    // Each rank wraps its own endpoint; the plans are copies of the same
+    // schedule, so the injection decisions stay in lockstep across ranks.
+    std::unique_ptr<dist::FaultyComm> faulty;
+    dist::Communicator* endpoint = &comm;
+    if (faults != nullptr && !faults->empty()) {
+      faulty = std::make_unique<dist::FaultyComm>(comm, *faults);
+      endpoint = faulty.get();
+    }
     const std::unique_ptr<Solver> solver =
-        info.factory(comm, dataset, part, spec);
+        info.factory(*endpoint, dataset, part, spec);
     if (!resume_from.empty()) solver->restore_from_file(resume_from);
     SolveResult r = solver->run();
-    if (comm.rank() == 0) {
+    if (endpoint->rank() == 0) {
       std::scoped_lock guard(lock);
       result = std::move(r);
     }

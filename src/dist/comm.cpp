@@ -1,10 +1,69 @@
 #include "dist/comm.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hpp"
 
 namespace sa::dist {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a_accumulate(std::uint64_t hash, const void* data,
+                               std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t payload_digest_bytes(std::span<const std::uint8_t> bytes) {
+  return fnv1a_accumulate(kFnvOffset, bytes.data(), bytes.size());
+}
+
+/// Low 32 bits of the FNV-1a hash as an exactly-representable double —
+/// the form checksums take when they ride a summing collective.
+double digest_word(std::uint64_t digest) {
+  return static_cast<double>(digest & 0xffffffffull);
+}
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kCorruption:
+      return "corruption";
+    case FailureKind::kRankLost:
+      return "rank-lost";
+  }
+  return "unknown";
+}
+
+std::uint64_t payload_digest(std::span<const double> data) {
+  return fnv1a_accumulate(kFnvOffset, data.data(),
+                          data.size() * sizeof(double));
+}
+
+void Communicator::note_comm_failure(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kTimeout:
+      stats_.timeouts += 1;
+      break;
+    case FailureKind::kCorruption:
+      stats_.corruptions += 1;
+      break;
+    case FailureKind::kRankLost:
+      stats_.rank_losses += 1;
+      break;
+  }
+}
 
 std::size_t collective_rounds(int ranks) {
   std::size_t rounds = 0;
@@ -28,6 +87,7 @@ void Communicator::allreduce_sum(std::span<double> data) {
            "Communicator::allreduce_sum: a nonblocking allreduce is in "
            "flight; wait() on it first");
   do_allreduce_sum(data);
+  if (digest_on_) last_digest_ = payload_digest(data);
   charge_collective(data.size());
 }
 
@@ -46,15 +106,31 @@ void Communicator::allreduce_start(std::span<double> data) {
   do_allreduce_start(data);
   pending_ = data;
   pending_active_ = true;
+  round_tag_active_ = round_tag_armed_;
+  round_tag_armed_ = false;
   charge_collective(data.size());
 }
 
-void Communicator::allreduce_wait() {
+void Communicator::allreduce_wait(double deadline_seconds) {
   SA_CHECK(pending_active_,
            "Communicator::allreduce_wait: no allreduce in flight");
-  do_allreduce_wait(pending_);
+  // Clear the pending state BEFORE the backend runs: a wait that throws
+  // (deadline missed, peer lost) must leave the communicator reusable so
+  // the recovery loop can replay the round on it.
+  const std::span<double> data = pending_;
   pending_active_ = false;
   pending_ = std::span<double>();
+  wait_deadline_ = deadline_seconds;
+  try {
+    do_allreduce_wait(data);
+  } catch (...) {
+    wait_deadline_ = 0.0;
+    round_tag_active_ = false;
+    throw;
+  }
+  wait_deadline_ = 0.0;
+  round_tag_active_ = false;
+  if (digest_on_) last_digest_ = payload_digest(data);
 }
 
 void Communicator::broadcast_bytes(std::vector<std::uint8_t>& bytes,
@@ -63,21 +139,62 @@ void Communicator::broadcast_bytes(std::vector<std::uint8_t>& bytes,
            "Communicator::broadcast_bytes: root out of range");
   if (size() == 1) return;
   const bool is_root = rank() == root;
-  const double length_word =
-      is_root ? static_cast<double>(bytes.size()) : 0.0;
-  const auto total =
-      static_cast<std::size_t>(allreduce_sum_scalar(length_word));
+
+  // Header: [length | FNV-1a fold of the length | payload digest], all as
+  // exactly-representable 32-bit-range doubles from the root, zeros from
+  // everyone else.  Every rank validates the length against its hash fold
+  // before allocating, and the reassembled payload against the digest
+  // after the chunks — so a dropped chunk or a flipped length never gets
+  // silently trusted; all ranks observe the same CommFailure together.
+  const std::uint64_t root_length = is_root ? bytes.size() : 0;
+  std::array<double, 3> header{};
+  if (is_root) {
+    header[0] = static_cast<double>(root_length);
+    header[1] = digest_word(
+        fnv1a_accumulate(kFnvOffset, &root_length, sizeof(root_length)));
+    header[2] = digest_word(payload_digest_bytes(bytes));
+  }
+  allreduce_sum(std::span<double>(header));
+  const double total_real = header[0];
+  constexpr double kMaxBroadcastBytes = 1ull << 40;  // 1 TiB sanity cap
+  if (!(total_real >= 0.0 && total_real <= kMaxBroadcastBytes &&
+        total_real == static_cast<double>(
+                          static_cast<std::uint64_t>(total_real)))) {
+    throw CommFailure(FailureKind::kCorruption,
+                      "broadcast_bytes: received length header is not a "
+                      "valid byte count (corrupted broadcast)");
+  }
+  const auto total = static_cast<std::uint64_t>(total_real);
+  if (digest_word(fnv1a_accumulate(kFnvOffset, &total, sizeof(total))) !=
+      header[1]) {
+    std::ostringstream os;
+    os << "broadcast_bytes: length header failed validation — received "
+       << total << " bytes whose checksum does not match the root's "
+       << "length word (corrupted broadcast)";
+    throw CommFailure(FailureKind::kCorruption, os.str());
+  }
   if (!is_root) bytes.assign(total, 0);
 
   constexpr std::size_t kChunkBytes = 1 << 16;
-  std::vector<double> chunk(std::min(total, kChunkBytes));
+  std::vector<double> chunk(std::min<std::size_t>(total, kChunkBytes));
   for (std::size_t offset = 0; offset < total; offset += kChunkBytes) {
-    const std::size_t count = std::min(kChunkBytes, total - offset);
+    const std::size_t count = std::min<std::size_t>(kChunkBytes,
+                                                    total - offset);
     for (std::size_t i = 0; i < count; ++i)
       chunk[i] = is_root ? static_cast<double>(bytes[offset + i]) : 0.0;
     allreduce_sum(std::span<double>(chunk.data(), count));
+    // Every rank — the root included — adopts the reduced chunk, so a
+    // payload fault desynchronizes nobody: all ranks reassemble the same
+    // (possibly wrong) bytes and fail the digest check below together.
     for (std::size_t i = 0; i < count; ++i)
       bytes[offset + i] = static_cast<std::uint8_t>(chunk[i]);
+  }
+  if (digest_word(payload_digest_bytes(bytes)) != header[2]) {
+    std::ostringstream os;
+    os << "broadcast_bytes: payload of " << total << " bytes from root "
+       << root << " failed checksum validation (dropped or corrupted "
+       << "broadcast)";
+    throw CommFailure(FailureKind::kCorruption, os.str());
   }
 }
 

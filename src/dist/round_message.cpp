@@ -1,5 +1,7 @@
 #include "dist/round_message.hpp"
 
+#include <sstream>
+
 #include "la/vector_ops.hpp"
 
 namespace sa::dist {
@@ -8,7 +10,7 @@ std::span<double> RoundMessage::layout(std::size_t gram_words,
                                        std::size_t dots1_words,
                                        std::size_t dots2_words) {
   words_ = {gram_words, dots1_words, dots2_words, trailer_objective_,
-            trailer_flags_};
+            trailer_flags_, trailer_checksum_};
   std::size_t running = 0;
   for (std::size_t i = 0; i < kRoundSectionCount; ++i) {
     offset_[i] = running;
@@ -23,10 +25,37 @@ std::span<double> RoundMessage::layout(std::size_t gram_words,
   return buffer_.first(body);
 }
 
+void RoundMessage::seal() {
+  if (trailer_checksum_ == 0) return;
+  const std::size_t body =
+      words_[0] + words_[1] + words_[2];  // gram + dots1 + dots2
+  const std::uint64_t digest = payload_digest(buffer_.first(body));
+  section(RoundSection::kChecksum)[0] =
+      static_cast<double>(digest & 0xffffffffull);
+}
+
 void RoundMessage::reduce_start(Communicator& comm) {
   comm.allreduce_start(buffer_);
   for (std::size_t i = 0; i < kRoundSectionCount; ++i)
     comm.note_section(static_cast<RoundSection>(i), words_[i]);
+}
+
+void RoundMessage::reduce_wait(Communicator& comm, double deadline_seconds) {
+  comm.allreduce_wait(deadline_seconds);
+  if (trailer_checksum_ == 0 || !comm.reduce_digest_enabled()) return;
+  // Re-hash the delivered buffer against the communicator's delivery
+  // receipt: any bit that changed between the backend handing the sums
+  // back and this message consuming them is caught HERE, before
+  // apply_round touches solver state.
+  const std::uint64_t receipt = comm.last_reduce_digest();
+  const std::uint64_t delivered = payload_digest(buffer_);
+  if (receipt != delivered) {
+    std::ostringstream os;
+    os << "RoundMessage::reduce_wait: reduced payload of "
+       << buffer_.size() << " words failed checksum validation (delivery "
+       << "digest " << receipt << ", buffer digest " << delivered << ")";
+    throw CommFailure(FailureKind::kCorruption, os.str());
+  }
 }
 
 }  // namespace sa::dist

@@ -3,8 +3,8 @@
 // One outer round of every algorithm family exchanges exactly ONE
 // collective, whose payload is a schema'd, contiguous buffer:
 //
-//   [ upper(G) | Yᵀỹ | Yᵀz̃ | objective | stop-flags ]
-//    └─ kGram ─┴kDots1┴kDots2┴kObjective─┴─kStopFlags┘
+//   [ upper(G) | Yᵀỹ | Yᵀz̃ | objective | stop-flags | checksum ]
+//    └─ kGram ─┴kDots1┴kDots2┴kObjective─┴─kStopFlags┴─kChecksum┘
 //
 // The Gram triangle and the dot blocks are the algorithm's fused payload
 // (written in one kernel call — the body span layout() returns is
@@ -13,7 +13,9 @@
 // objective partial (objective-tolerance stopping at round granularity)
 // and rank 0's wall clock (replicated wall-budget decisions), so enabling
 // those criteria costs zero extra messages — only trailing words on the
-// message the round pays for anyway.
+// message the round pays for anyway.  Fault-tolerant solves reserve one
+// more trailer word, the FNV-1a body checksum (see seal()), the same
+// zero-extra-messages way.
 //
 // The buffer is arena-backed by a la::Workspace slot: it is laid out anew
 // every round but only ever grows, so steady-state rounds allocate
@@ -49,10 +51,14 @@ class RoundMessage {
 
   /// Declares the trailer (piggy-backed) section sizes for subsequent
   /// rounds.  Sticky: set once when the solve starts, before any layout().
+  /// `checksum_words` (0 or 1) reserves the kChecksum section fault
+  /// detection rides — see seal().
   void set_trailer_sizes(std::size_t objective_words,
-                         std::size_t stop_flag_words) {
+                         std::size_t stop_flag_words,
+                         std::size_t checksum_words = 0) {
     trailer_objective_ = objective_words;
     trailer_flags_ = stop_flag_words;
+    trailer_checksum_ = checksum_words;
   }
 
   /// Lays out one round's message and returns the contiguous body span
@@ -85,13 +91,27 @@ class RoundMessage {
     return buffer_.subspan(offset_[1], words_[1] + words_[2]);
   }
 
+  /// Writes the kChecksum trailer word (when reserved): the low 32 bits
+  /// of this rank's FNV-1a body digest as an exactly-representable
+  /// double.  The summed word is the in-band checksum channel a real
+  /// transport would carry — it rides the collective and is priced like
+  /// any trailer word (perf::costs.flag_words) — while verification uses
+  /// the communicator's out-of-band delivery digest (hashes do not
+  /// commute with summation).  Call after the body and other trailer
+  /// fields are final, before reduce_start.  No-op without the section.
+  void seal();
+
   /// Starts the round's ONE collective (nonblocking) and attributes
   /// per-section traffic to the communicator's CommStats.
   void reduce_start(Communicator& comm);
 
   /// Completes the collective; afterwards every section holds the
-  /// elementwise sum over ranks.
-  void reduce_wait(Communicator& comm) { comm.allreduce_wait(); }
+  /// elementwise sum over ranks.  A positive `deadline_seconds` arms the
+  /// communicator's timeout detection, and when the checksum trailer is
+  /// reserved and the delivery digest enabled, the delivered buffer is
+  /// re-hashed against the communicator's receipt —
+  /// CommFailure(kCorruption) before any reduced bit reaches the solver.
+  void reduce_wait(Communicator& comm, double deadline_seconds = 0.0);
 
   /// Blocking convenience: start + wait.
   void reduce(Communicator& comm) {
@@ -107,6 +127,7 @@ class RoundMessage {
   std::array<std::size_t, kRoundSectionCount> offset_{};
   std::size_t trailer_objective_ = 0;
   std::size_t trailer_flags_ = 0;
+  std::size_t trailer_checksum_ = 0;
 };
 
 }  // namespace sa::dist

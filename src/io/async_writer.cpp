@@ -19,6 +19,12 @@ AsyncCheckpointWriter::AsyncCheckpointWriter(WriteFn write)
       thread_([this] { worker(); }) {}
 
 AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  // RAII drain: destruction is the backstop for every path that skips
+  // finish() — engine teardown during stack unwinding included — so the
+  // worker never outlives the object and the last submitted image reaches
+  // the disk.  Guarded on joinable() so teardown stays safe even when the
+  // thread is already gone (moved-from or failed start).
+  if (!thread_.joinable()) return;
   drain();
   {
     std::scoped_lock guard(lock_);

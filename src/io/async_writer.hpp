@@ -48,7 +48,9 @@ class AsyncCheckpointWriter {
 
   explicit AsyncCheckpointWriter(WriteFn write = {});
 
-  /// Drains the in-flight write, then stops and joins the thread.
+  /// Drains the in-flight write, then stops and joins the thread — RAII,
+  /// so exception paths that never reach an explicit drain() still leave
+  /// the worker joined and the last submission on disk.
   ~AsyncCheckpointWriter();
 
   AsyncCheckpointWriter(const AsyncCheckpointWriter&) = delete;

@@ -52,7 +52,10 @@ class SnapshotError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version history: 1 = initial format; 2 = wider core/stats +
+// core/state_words payload (the kChecksum round section and the round
+// counter fault recovery replays from).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 inline constexpr std::size_t kSnapshotHeaderBytes = 24;
 inline constexpr char kSnapshotMagic[8] = {'S', 'A', 'O', 'P',
                                            'T', 'S', 'N', 'P'};

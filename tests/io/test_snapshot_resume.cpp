@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -467,6 +468,76 @@ TEST_F(SnapshotNegative, MissingFileIsRejectedAndNamesThePath) {
   }
   expect_results_identical(reference_, solver->run(),
                            "after missing-file restore");
+}
+
+// ---------------------------------------------------------------------
+// Torn tmp-file: a write killed mid-flight must not cost the previous
+// checkpoint (the atomic tmp + rename guarantee, exercised end to end)
+// ---------------------------------------------------------------------
+
+TEST(SnapshotResume, TornTmpFileLeavesThePreviousCheckpointLoadable) {
+  const std::string path = ::testing::TempDir() + "sa_torn.snap";
+  const std::string tmp = path + ".tmp";
+  const SolverSpec spec = conformance_spec("sa-lasso");
+  const data::Dataset& d = dataset_for(spec);
+
+  dist::SerialComm ref_comm;
+  const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+  // A valid checkpoint on disk…
+  dist::SerialComm comm;
+  const std::unique_ptr<Solver> source = fresh_solver(comm, spec, d);
+  source->step(80);
+  source->snapshot_to_file(path);
+
+  // …then the next write is killed mid-flight: the tmp file holds only
+  // the first half of a real image.
+  const std::vector<std::uint8_t> image = source->snapshot();
+  {
+    std::ofstream torn(tmp, std::ios::binary | std::ios::trunc);
+    torn.write(reinterpret_cast<const char*>(image.data()),
+               static_cast<std::streamsize>(image.size() / 2));
+  }
+
+  // The previous checkpoint is untouched and resumes bitwise.
+  dist::SerialComm comm_b;
+  const std::unique_ptr<Solver> resumed = fresh_solver(comm_b, spec, d);
+  resumed->restore_from_file(path);
+  expect_results_identical(reference, resumed->run(),
+                           "resumed beside a torn tmp");
+
+  // The torn tmp itself is rejected, never silently half-loaded.
+  dist::SerialComm comm_c;
+  const std::unique_ptr<Solver> victim = fresh_solver(comm_c, spec, d);
+  EXPECT_THROW(victim->restore_from_file(tmp), io::SnapshotError);
+  expect_results_identical(reference, victim->run(),
+                           "after rejected torn tmp");
+}
+
+TEST(SnapshotResume, StaleTornTmpDoesNotPoisonLaterCheckpoints) {
+  // A stale torn tmp from a killed run sits at path.tmp; a fresh
+  // checkpointed solve over the same path must overwrite it and leave a
+  // resumable checkpoint behind.
+  const std::string path = ::testing::TempDir() + "sa_stale_tmp.snap";
+  SolverSpec spec = conformance_spec("sa-lasso");
+  const data::Dataset& d = dataset_for(spec);
+  {
+    std::ofstream stale(path + ".tmp", std::ios::binary | std::ios::trunc);
+    stale << "garbage left by a killed writer";
+  }
+
+  dist::SerialComm ref_comm;
+  const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+  SolverSpec ckpt_spec = spec;
+  ckpt_spec.checkpoint_path = path;
+  ckpt_spec.checkpoint_every = 100;
+  const SolveResult checkpointed = solve(d, ckpt_spec);
+  expect_results_identical(reference, checkpointed,
+                           "checkpointed over a stale tmp");
+
+  const SolveResult resumed = solve(d, spec, path);
+  expect_results_identical(reference, resumed, "resumed over a stale tmp");
 }
 
 // ---------------------------------------------------------------------
