@@ -1,0 +1,47 @@
+#include "common/annotate.hpp"
+
+#include <atomic>
+
+namespace sa::common {
+
+namespace {
+
+// Depth is thread-local: a guard scope covers the calling thread only
+// (each ThreadComm rank, the async checkpoint writer, and the test main
+// thread meter themselves independently).  Arming and the violation
+// counter are process-wide so one harness can watch every thread.
+thread_local int t_steady_depth = 0;
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::size_t> g_violations{0};
+
+}  // namespace
+
+int steady_state_depth() noexcept { return t_steady_depth; }
+
+void arm_allocation_guard(bool on) noexcept {
+  g_armed.store(on, std::memory_order_relaxed);
+}
+
+bool allocation_guard_armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+void notify_allocation() noexcept {
+  if (t_steady_depth > 0 && g_armed.load(std::memory_order_relaxed))
+    g_violations.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t steady_state_violations() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_steady_state_violations() noexcept {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+SteadyStateScope::SteadyStateScope() noexcept { ++t_steady_depth; }
+
+SteadyStateScope::~SteadyStateScope() { --t_steady_depth; }
+
+}  // namespace sa::common

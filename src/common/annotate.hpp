@@ -1,0 +1,93 @@
+// Architectural-invariant annotations shared by every sa-opt module.
+//
+// SA_STEADY_STATE marks a function body as part of the steady-state hot
+// path: after the arena-warming first outer iteration, code inside the
+// marked region must never touch the heap, directly or through any
+// same-repo call chain.  One annotation buys two enforcements:
+//
+//   * statically, tools/sa_lint walks the call graph from every marked
+//     function and rejects reachable allocation (`new`, malloc-family
+//     calls, growing STL calls, `std::function`, unordered-container
+//     construction) at build-gate time — see tools/sa_lint/README in the
+//     top-level README's "Static analysis & invariants" section;
+//   * dynamically, in builds without NDEBUG the macro expands to an RAII
+//     guard scope.  An owning counting-operator-new shim (the tests own
+//     global operator new; the library never does) reports each
+//     allocation through notify_allocation(), and any allocation landing
+//     inside an armed guard scope is recorded as a violation — unifying
+//     the lint region with the counting shim in
+//     tests/core/test_steady_state.cpp.
+//
+// The guard is re-entrant (nested SA_STEADY_STATE scopes stack a
+// thread-local depth counter) and exception-safe (plain RAII: unwinding
+// restores the depth exactly).  In Release builds (NDEBUG) the macro
+// compiles out entirely — no object, no counter traffic — pinned by
+// tests/core/test_alloc_guard.cpp.
+//
+// Arming is explicit and off by default: the first outer iteration of a
+// solve is ALLOWED to allocate (that is when the grow-only arenas size
+// themselves), and only a test harness knows where warm-up ends.  Tests
+// arm the guard once the arenas are warm, run the steady-state window,
+// and assert steady_state_violations() == 0.
+#pragma once
+
+#include <cstddef>
+
+namespace sa::common {
+
+/// True when SA_STEADY_STATE expands to a live guard scope (builds
+/// without NDEBUG); false when it compiles out entirely.
+inline constexpr bool kSteadyStateGuardEnabled =
+#ifdef NDEBUG
+    false;
+#else
+    true;
+#endif
+
+/// Current nesting depth of SteadyStateScope guards on THIS thread.
+int steady_state_depth() noexcept;
+
+/// Arms / disarms violation recording (process-wide, default off).
+void arm_allocation_guard(bool on) noexcept;
+bool allocation_guard_armed() noexcept;
+
+/// Reports one heap allocation to the guard.  Called by whichever
+/// counting operator-new shim owns the build (the library defines no
+/// global operator new); a no-op unless the calling thread is inside an
+/// armed SA_STEADY_STATE scope.  noexcept and lock-free: safe to call
+/// from any allocation context.
+void notify_allocation() noexcept;
+
+/// Number of allocations observed inside armed guard scopes since the
+/// last reset.
+std::size_t steady_state_violations() noexcept;
+void reset_steady_state_violations() noexcept;
+
+/// RAII steady-state region marker: ++depth on entry, --depth on exit
+/// (including exceptional exit).  Always defined so tests can exercise
+/// the semantics in every build type; the SA_STEADY_STATE macro only
+/// instantiates it in builds without NDEBUG.
+class SteadyStateScope {
+ public:
+  SteadyStateScope() noexcept;
+  ~SteadyStateScope();
+
+  SteadyStateScope(const SteadyStateScope&) = delete;
+  SteadyStateScope& operator=(const SteadyStateScope&) = delete;
+};
+
+}  // namespace sa::common
+
+// Statement macro marking the enclosing function body as a steady-state
+// region (place at the top of the function).  tools/sa_lint keys its
+// allocation-discipline rule on this token; debug builds also get the
+// runtime guard scope.
+#define SA_DETAIL_CONCAT2(a, b) a##b
+#define SA_DETAIL_CONCAT(a, b) SA_DETAIL_CONCAT2(a, b)
+#ifdef NDEBUG
+#define SA_STEADY_STATE static_cast<void>(0)
+#else
+#define SA_STEADY_STATE                       \
+  const ::sa::common::SteadyStateScope        \
+      SA_DETAIL_CONCAT(sa_steady_scope_, __LINE__) {}
+#endif

@@ -49,6 +49,7 @@ const std::vector<double>& RowBlock::staged_columns() const {
   // once per round.
   if (stage_.empty()) {
     const std::size_t m_loc = local_rows();
+    // sa-lint: allow(alloc): one-time lazy densification, empty-guarded
     stage_.assign(num_features() * m_loc, 0.0);
     for (std::size_t c = 0; c < num_features(); ++c) {
       double* run = stage_.data() + c * m_loc;
@@ -120,6 +121,7 @@ la::VectorBatch ColBlock::gather_rows(
 const std::vector<double>& ColBlock::staged_rows() const {
   if (stage_.empty()) {
     const std::size_t n_loc = local_cols();
+    // sa-lint: allow(alloc): one-time lazy densification, empty-guarded
     stage_.assign(num_points() * n_loc, 0.0);
     for (std::size_t r = 0; r < num_points(); ++r) {
       double* run = stage_.data() + r * n_loc;

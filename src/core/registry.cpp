@@ -66,6 +66,7 @@ const AlgorithmInfo* SolverRegistry::find(std::string_view id) const {
   return nullptr;
 }
 
+// sa-lint: allow(alloc): allocates only to format the error it throws
 const AlgorithmInfo& SolverRegistry::require(std::string_view id) const {
   if (const AlgorithmInfo* info = find(id)) return *info;
   std::ostringstream os;

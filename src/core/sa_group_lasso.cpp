@@ -90,7 +90,10 @@ class GroupLassoEngine final : public detail::EngineBase {
 
   void record_trace_point(std::size_t iteration) override {
     const dist::CommStats snapshot = comm_.stats();
+    // Trace instrumentation: runs only at user-requested trace points,
+    // outside the round plane, and restores the comm stats it perturbs.
     const double total_sq =
+        // sa-lint: allow(collective): trace-point instrumentation only
         comm_.allreduce_sum_scalar(la::nrm2_squared(res_));
     const double penalty = penalty_value();
     comm_.set_stats(snapshot);

@@ -123,7 +123,10 @@ class LassoEngine final : public detail::EngineBase {
     const dist::CommStats snapshot = comm_.stats();
     write_current_x(x_scratch_);
     write_current_residual();
+    // Trace instrumentation: runs only at user-requested trace points,
+    // outside the round plane, and restores the comm stats it perturbs.
     const double total_sq =
+        // sa-lint: allow(collective): trace-point instrumentation only
         comm_.allreduce_sum_scalar(la::nrm2_squared(res_scratch_));
     const double penalty = penalty_value(x_scratch_);
     comm_.set_stats(snapshot);
@@ -281,6 +284,7 @@ class LassoEngine final : public detail::EngineBase {
         delta[j * mu_ + a] = d;
         if (d != 0.0) {
           pending_[coord] += d;
+          // sa-lint: allow(alloc): reserved to unroll_depth*mu at setup
           touched_.push_back(coord);
         }
       }

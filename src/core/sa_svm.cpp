@@ -71,8 +71,10 @@ class SvmEngine final : public detail::EngineBase {
     // Duality gap evaluation (instrumentation only): margins need the full
     // A·x, assembled from per-rank partial products with one allreduce.
     block_.matrix().spmv(x_loc_, margins_);
+    // sa-lint: allow(collective): duality-gap trace instrumentation only
     comm_.allreduce_sum(margins_);
     const double x_norm_sq =
+        // sa-lint: allow(collective): same trace point, stats restored
         comm_.allreduce_sum_scalar(la::nrm2_squared(x_loc_));
     double hinge_sum = 0.0;
     for (std::size_t i = 0; i < m_; ++i) {
@@ -172,6 +174,7 @@ class SvmEngine final : public detail::EngineBase {
     out.x.assign(n_, 0.0);
     std::copy(x_loc_.begin(), x_loc_.end(),
               out.x.begin() + cols_.begin(comm_.rank()));
+    // sa-lint: allow(collective): one-time assembly after the solve loop
     comm_.allreduce_sum(out.x);
     out.alpha = alpha_;
   }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/annotate.hpp"
 #include "common/check.hpp"
 #include "core/engine.hpp"
 #include "io/snapshot.hpp"
@@ -118,6 +119,7 @@ SolverSpec& SolverSpec::with_round_deadline(double seconds) {
 }
 
 bool SolverSpec::is_sa() const {
+  // sa-lint: allow(alloc): string_view::substr returns a view, no heap
   return std::string_view(algorithm).substr(0, 3) == "sa-";
 }
 
@@ -327,6 +329,7 @@ std::size_t EngineBase::step(std::size_t iterations) {
 }
 
 void EngineBase::run_round(std::size_t s_eff) {
+  SA_STEADY_STATE;
   // Pack: the engine lays out and writes the Gram/dot sections; the base
   // class fills the piggy-backed trailer.  The objective partial reflects
   // the iterate ENTERING this round (pack time), so the criterion it

@@ -61,6 +61,7 @@ void CoordinateSampler::next_into(std::span<std::size_t> out) {
   const std::size_t n = perm_.size();
   for (std::size_t l = 0; l < block_size_; ++l) {
     const std::size_t j = l + static_cast<std::size_t>(rng_.next_below(n - l));
+    // sa-lint: allow(alloc): rewind log pre-sized by reserve_rewind()
     if (logging_) swap_log_.emplace_back(l, j);
     std::swap(perm_[l], perm_[j]);
     out[l] = perm_[l];

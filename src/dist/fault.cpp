@@ -155,6 +155,7 @@ void FaultyComm::do_allreduce_wait(std::span<double> data) {
   if (in_flight_round(&round)) inject_round_faults(round, data);
 }
 
+// sa-lint: allow(alloc): chaos plane — allocates only to describe faults
 void FaultyComm::inject_round_faults(std::size_t round,
                                      std::span<double> data) {
   std::size_t e = find_event(FaultKind::kDelay, round);

@@ -50,6 +50,7 @@ void RoundMessage::reduce_wait(Communicator& comm, double deadline_seconds) {
   const std::uint64_t receipt = comm.last_reduce_digest();
   const std::uint64_t delivered = payload_digest(buffer_);
   if (receipt != delivered) {
+    // sa-lint: allow(alloc): corruption error path, formats then throws
     std::ostringstream os;
     os << "RoundMessage::reduce_wait: reduced payload of "
        << buffer_.size() << " words failed checksum validation (delivery "

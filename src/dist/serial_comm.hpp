@@ -8,6 +8,10 @@
 
 #include <span>
 
+// Deliberate companion-header cycle: comm.hpp re-exports this header
+// (IWYU pragma: export) so callers get the serial backend with the
+// interface; include guards make it sound.
+// sa-lint: allow(layering): deliberate companion-header cycle, see above
 #include "dist/comm.hpp"
 
 namespace sa::dist {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/annotate.hpp"
 #include "common/check.hpp"
 
 namespace sa::dist {
@@ -118,6 +119,7 @@ void ThreadComm::do_allreduce_wait(std::span<double> data) {
 }
 
 void ThreadComm::linear_start(std::span<double> data) {
+  SA_STEADY_STATE;
   internal::TeamState& s = state_;
   const std::size_t n = data.size();
   s.slots[rank_] = data;
@@ -127,6 +129,8 @@ void ThreadComm::linear_start(std::span<double> data) {
     s.length_mismatch = false;
     for (const std::span<double>& slot : s.slots)
       if (slot.size() != n) s.length_mismatch = true;
+    // Grow-only team scratch: sized by the first round at each length.
+    // sa-lint: allow(alloc): grow-only scratch, warm rounds never resize
     if (!s.length_mismatch && s.scratch.size() < n) s.scratch.resize(n);
   });
   SA_CHECK(!s.length_mismatch,
@@ -150,12 +154,14 @@ void ThreadComm::linear_start(std::span<double> data) {
 }
 
 void ThreadComm::linear_wait(std::span<double> data) {
+  SA_STEADY_STATE;
   internal::TeamState& s = state_;
   for (std::size_t i = 0; i < data.size(); ++i) data[i] = s.scratch[i];
   internal::barrier(s);  // keep scratch stable until every rank copied
 }
 
 void ThreadComm::tree_start(std::span<double> data) {
+  SA_STEADY_STATE;
   internal::TeamState& s = state_;
   const std::size_t n = data.size();
   const std::size_t p = static_cast<std::size_t>(size_);
@@ -164,6 +170,9 @@ void ThreadComm::tree_start(std::span<double> data) {
   // Stage this rank's contribution in its own accumulator (grow-only;
   // writing own storage before the barrier is race-free).
   s.slots[rank_] = data;
+  // Grow-only per-rank accumulator: sized by the first round at each
+  // length, allocation-free once warmed up.
+  // sa-lint: allow(alloc): grow-only accumulator, warm rounds never resize
   if (s.acc[r].size() < n) s.acc[r].resize(n);
   for (std::size_t i = 0; i < n; ++i) s.acc[r][i] = data[i];
   internal::barrier(s, [&] {
@@ -209,6 +218,7 @@ void ThreadComm::tree_start(std::span<double> data) {
 }
 
 void ThreadComm::tree_wait(std::span<double> data) {
+  SA_STEADY_STATE;
   internal::TeamState& s = state_;
   for (std::size_t i = 0; i < data.size(); ++i) data[i] = s.acc[0][i];
   internal::barrier(s);  // keep acc[0] stable until every rank copied

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/annotate.hpp"
 #include "common/check.hpp"
 
 namespace sa::io {
@@ -85,6 +86,9 @@ std::uint64_t fnv1a_words(std::span<const std::size_t> words) {
 
 void SnapshotWriter::append(const void* data, std::size_t bytes) {
   const std::size_t at = buf_.size();
+  // The staging buffer keeps its capacity across snapshots, so this
+  // resize allocates only until the first snapshot's high-water mark.
+  // sa-lint: allow(alloc): capacity retained across snapshots
   buf_.resize(at + bytes);
   std::memcpy(buf_.data() + at, data, bytes);
 }
@@ -145,6 +149,7 @@ void SnapshotWriter::begin_u64s(std::string_view name, std::size_t count) {
 }
 
 void SnapshotWriter::push_double(double value) {
+  SA_STEADY_STATE;
   SA_CHECK(pending_values_ > 0,
            "SnapshotWriter::push_double: no section values owed");
   --pending_values_;
@@ -152,6 +157,7 @@ void SnapshotWriter::push_double(double value) {
 }
 
 void SnapshotWriter::push_u64(std::uint64_t value) {
+  SA_STEADY_STATE;
   SA_CHECK(pending_values_ > 0,
            "SnapshotWriter::push_u64: no section values owed");
   --pending_values_;
@@ -317,9 +323,11 @@ std::span<const double> SnapshotReader::doubles(std::string_view name,
                                                 std::size_t count) const {
   const std::span<const double> values = doubles(name);
   if (values.size() != count) {
+    // sa-lint: allow(alloc): error path, formats the message fail() throws
     std::ostringstream os;
     os << "section '" << name << "' has " << values.size()
        << " elements, expected " << count;
+    // sa-lint: allow(alloc): error path, fail() throws with this message
     fail(os.str());
   }
   return values;
@@ -337,9 +345,11 @@ std::span<const std::uint64_t> SnapshotReader::u64s(
     std::string_view name, std::size_t count) const {
   const std::span<const std::uint64_t> values = u64s(name);
   if (values.size() != count) {
+    // sa-lint: allow(alloc): error path, formats the message fail() throws
     std::ostringstream os;
     os << "section '" << name << "' has " << values.size()
        << " elements, expected " << count;
+    // sa-lint: allow(alloc): error path, fail() throws with this message
     fail(os.str());
   }
   return values;

@@ -29,6 +29,7 @@
 
 #include <algorithm>
 
+#include "common/annotate.hpp"
 #include "common/check.hpp"
 #include "la/vector_batch.hpp"
 #include "la/vector_ops.hpp"
@@ -122,6 +123,9 @@ void dense_gram_tile(std::span<const double* const> rows, std::size_t dim,
 
 std::vector<double>& sparse_gram_workspace(std::size_t dim) {
   thread_local std::vector<double> acc;
+  // Grow-only thread-local scratch: sized on the first call at each
+  // dimension, reused allocation-free thereafter.
+  // sa-lint: allow(alloc): grow-only scratch, steady state reuses it
   if (acc.size() < dim) acc.resize(dim, 0.0);
   return acc;
 }
@@ -262,6 +266,7 @@ std::size_t fused_buffer_size(std::size_t k, std::size_t sections) {
 void sampled_gram_and_dots(const BatchView& y,
                            std::span<const std::span<const double>> xs,
                            std::span<double> out) {
+  SA_STEADY_STATE;
   const std::size_t k = y.size();
   const std::size_t d = y.dim();
   SA_CHECK(out.size() == fused_buffer_size(k, xs.size()),
@@ -335,6 +340,7 @@ void sampled_gram(const BatchView& y, std::span<double> out) {
 void sampled_dots(const BatchView& y,
                   std::span<const std::span<const double>> xs,
                   std::span<double> out) {
+  SA_STEADY_STATE;
   const std::size_t k = y.size();
   SA_CHECK(out.size() == xs.size() * k,
            "sampled_dots: buffer size mismatch");
@@ -344,6 +350,7 @@ void sampled_dots(const BatchView& y,
 
 void batch_dots(const BatchView& y, std::span<const double> x,
                 std::span<double> out) {
+  SA_STEADY_STATE;
   SA_CHECK(x.size() == y.dim(), "batch_dots: length mismatch");
   SA_CHECK(out.size() == y.size(), "batch_dots: output length mismatch");
   const std::size_t k = y.size();

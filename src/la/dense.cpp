@@ -23,6 +23,7 @@ void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 void DenseMatrix::reshape(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
+  // sa-lint: allow(alloc): capacity retained, steady rounds keep one shape
   data_.resize(rows * cols);
 }
 

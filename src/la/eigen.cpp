@@ -68,6 +68,7 @@ void jacobi_sweeps(DenseMatrix& a, double tolerance,
 
 }  // namespace
 
+// sa-lint: allow(alloc): scratch assign()s keep capacity after first call
 double largest_eigenvalue_psd(const DenseMatrix& a, EigenScratch& scratch,
                               const PowerIterationOptions& options) {
   SA_CHECK(a.rows() == a.cols(), "largest_eigenvalue_psd: matrix not square");

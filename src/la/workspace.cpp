@@ -1,13 +1,21 @@
 #include "la/workspace.hpp"
 
+#include "common/annotate.hpp"
+
 namespace sa::la {
 
 std::span<double> Workspace::doubles(std::size_t slot, std::size_t n) {
+  SA_STEADY_STATE;
+  // Grow-only slot directory: resized only when a caller first touches a
+  // new slot id, stable across rounds after that.
+  // sa-lint: allow(alloc): grow-only slot directory, stable once warm
   if (double_slots_.size() <= slot) double_slots_.resize(slot + 1);
   return grab(double_slots_[slot], n);
 }
 
 std::span<std::size_t> Workspace::indices(std::size_t slot, std::size_t n) {
+  SA_STEADY_STATE;
+  // sa-lint: allow(alloc): grow-only slot directory, stable once warm
   if (index_slots_.size() <= slot) index_slots_.resize(slot + 1);
   return grab(index_slots_[slot], n);
 }

@@ -60,6 +60,9 @@ class Workspace {
  private:
   template <typename T>
   static std::span<T> grab(std::vector<T>& pool, std::size_t n) {
+    // Grow-only arena: each pool allocates while warming up to its
+    // high-water mark, never again in steady state.
+    // sa-lint: allow(alloc): grow-only arena, high-water mark reuse
     if (pool.size() < n) pool.resize(n);
     return std::span<T>(pool.data(), n);
   }

@@ -1,0 +1,129 @@
+// Unit pins for the SA_STEADY_STATE debug allocation guard
+// (common/annotate.hpp): RAII depth tracking that survives exceptions,
+// re-entrancy across nested scopes, violation accounting gated on BOTH
+// "inside a scope" and "explicitly armed", and the build-type contract —
+// the macro expands to a live scope only in builds without NDEBUG and
+// compiles out entirely in Release.
+//
+// Like test_steady_state.cpp, this binary owns the global operator new
+// (the library never defines one) and reports every allocation through
+// notify_allocation(); the guard decides what counts.
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "common/annotate.hpp"
+
+void* operator new(std::size_t size) {
+  sa::common::notify_allocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  sa::common::notify_allocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sa::common {
+namespace {
+
+/// One observable heap allocation.  A `delete new int` pair is NOT
+/// enough here: new-expression/delete-expression pairs may legally be
+/// elided at -O2, silently skipping the shim.  Direct calls to the
+/// replaceable ::operator new cannot be elided.
+void heap_roundtrip() { ::operator delete(::operator new(16)); }
+
+/// What SA_STEADY_STATE reports from inside a marked function: 1 when
+/// the guard is live (no NDEBUG), 0 when the macro compiled out.
+int depth_inside_marked_function() {
+  SA_STEADY_STATE;
+  return steady_state_depth();
+}
+
+TEST(AllocGuard, MacroIsLiveExactlyWhenBuildSaysSo) {
+  EXPECT_EQ(depth_inside_marked_function(),
+            kSteadyStateGuardEnabled ? 1 : 0);
+  EXPECT_EQ(steady_state_depth(), 0);
+}
+
+TEST(AllocGuard, ScopesNestAndUnwindExactly) {
+  EXPECT_EQ(steady_state_depth(), 0);
+  {
+    SteadyStateScope outer;
+    EXPECT_EQ(steady_state_depth(), 1);
+    {
+      SteadyStateScope inner;
+      EXPECT_EQ(steady_state_depth(), 2);
+    }
+    EXPECT_EQ(steady_state_depth(), 1);
+  }
+  EXPECT_EQ(steady_state_depth(), 0);
+}
+
+TEST(AllocGuard, ExceptionUnwindRestoresDepth) {
+  EXPECT_EQ(steady_state_depth(), 0);
+  try {
+    SteadyStateScope outer;
+    SteadyStateScope inner;
+    throw 42;  // non-allocating payload: the counts stay deterministic
+  } catch (int) {
+    EXPECT_EQ(steady_state_depth(), 0);
+  }
+  EXPECT_EQ(steady_state_depth(), 0);
+}
+
+TEST(AllocGuard, CountsOnlyArmedInScopeAllocations) {
+  reset_steady_state_violations();
+
+  // Armed but outside any scope: not a violation.
+  arm_allocation_guard(true);
+  heap_roundtrip();
+  arm_allocation_guard(false);
+
+  // In scope but unarmed (the warm-up posture): not a violation.
+  {
+    SteadyStateScope scope;
+    heap_roundtrip();
+  }
+  EXPECT_EQ(steady_state_violations(), 0u);
+
+  // Armed AND in scope: each allocation is one violation, nesting does
+  // not double-count.
+  arm_allocation_guard(true);
+  {
+    SteadyStateScope outer;
+    heap_roundtrip();
+    {
+      SteadyStateScope inner;
+      heap_roundtrip();
+    }
+  }
+  arm_allocation_guard(false);
+  EXPECT_EQ(steady_state_violations(), 2u);
+
+  reset_steady_state_violations();
+  EXPECT_EQ(steady_state_violations(), 0u);
+}
+
+TEST(AllocGuard, ExceptionExitStopsCounting) {
+  reset_steady_state_violations();
+  arm_allocation_guard(true);
+  try {
+    SteadyStateScope scope;
+    throw 42;
+  } catch (int) {
+  }
+  // The scope is gone: allocations after the unwind are ordinary again.
+  heap_roundtrip();
+  arm_allocation_guard(false);
+  EXPECT_EQ(steady_state_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace sa::common

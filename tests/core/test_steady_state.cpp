@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/annotate.hpp"
 #include "core/cd_lasso.hpp"
 #include "core/group_lasso.hpp"
 #include "core/registry.hpp"
@@ -28,6 +29,10 @@ std::atomic<bool> g_counting{false};
 void* counted_alloc(std::size_t size) {
   if (g_counting.load(std::memory_order_relaxed))
     g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // Feed the SA_STEADY_STATE debug guard too: the same shim backs both
+  // the whole-solve delta counting here and the in-scope violation
+  // accounting in common/annotate.hpp (live in builds without NDEBUG).
+  sa::common::notify_allocation();
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }

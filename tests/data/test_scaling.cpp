@@ -29,7 +29,9 @@ TEST(NormalizeColumns, ProducesUnitColumns) {
   const la::CscMatrix csc(scaled.a);
   const auto norms = csc.col_norms_squared();
   for (std::size_t j = 0; j < norms.size(); ++j) {
-    if (norms[j] > 0.0) EXPECT_NEAR(norms[j], 1.0, 1e-12) << "column " << j;
+    if (norms[j] > 0.0) {
+      EXPECT_NEAR(norms[j], 1.0, 1e-12) << "column " << j;
+    }
   }
 }
 
@@ -80,7 +82,9 @@ TEST(NormalizeRows, ProducesUnitRows) {
   const Dataset scaled = normalize_rows(d);
   const auto norms = scaled.a.row_norms_squared();
   for (std::size_t i = 0; i < norms.size(); ++i) {
-    if (norms[i] > 0.0) EXPECT_NEAR(norms[i], 1.0, 1e-12) << "row " << i;
+    if (norms[i] > 0.0) {
+      EXPECT_NEAR(norms[i], 1.0, 1e-12) << "row " << i;
+    }
   }
   EXPECT_EQ(scaled.b, d.b);
 }

@@ -63,8 +63,11 @@ TEST(VectorBatch, GramDiagShiftAddsToDiagonalOnly) {
   const DenseMatrix g1 = make_sparse_batch().gram(2.5);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_DOUBLE_EQ(g1(i, i), g0(i, i) + 2.5);
-    for (std::size_t j = 0; j < 3; ++j)
-      if (i != j) EXPECT_DOUBLE_EQ(g1(i, j), g0(i, j));
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(g1(i, j), g0(i, j));
+      }
+    }
   }
 }
 

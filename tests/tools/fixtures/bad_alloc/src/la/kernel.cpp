@@ -1,0 +1,24 @@
+// Fixture: an SA_STEADY_STATE region that reaches a heap allocation only
+// through two levels of same-repo calls.  sa_lint must walk the chain
+// and report the push_back, not the annotated function.
+#include <vector>
+
+namespace fx {
+
+std::vector<double>& scratch() {
+  static std::vector<double> s;
+  return s;
+}
+
+void stage_two(double v) {
+  scratch().push_back(v);  // the hidden allocation (line 14)
+}
+
+void stage_one(double v) { stage_two(v * 2.0); }
+
+void hot_kernel(double v) {
+  SA_STEADY_STATE;
+  stage_one(v);
+}
+
+}  // namespace fx

@@ -1,0 +1,16 @@
+// Fixture: a stray collective issued from an engine TU.  Only the
+// EngineBase TU (src/core/solver.cpp) and src/dist/ may talk to the
+// communicator, so sa_lint must flag this call site.
+#include <vector>
+
+namespace fx {
+
+struct Comm {
+  void allreduce_sum(std::vector<double>& v);
+};
+
+void engine_step(Comm& comm, std::vector<double>& partials) {
+  comm.allreduce_sum(partials);  // collective outside the plane (line 13)
+}
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Fixture: two determinism hazards in a kernel TU — iterating an
+// unordered container (unspecified order feeding a float sum) and a
+// non-SplitMix64 RNG engine.
+#include <random>
+#include <unordered_map>
+
+namespace fx {
+
+double hashed_sum(const std::unordered_map<int, double>& weights) {
+  std::unordered_map<int, double> local = weights;
+  double total = 0.0;
+  for (const auto& kv : local) total += kv.second;  // order hazard (line 12)
+  return total;
+}
+
+double noisy(double x) {
+  std::mt19937 gen(42);  // non-SplitMix64 engine (line 17)
+  return x + static_cast<double>(gen());
+}
+
+}  // namespace fx

@@ -1,0 +1,4 @@
+// Fixture: half of an include cycle inside the common layer (legal by
+// the partial order, still a cycle the DFS must catch).
+#pragma once
+#include "common/b.hpp"

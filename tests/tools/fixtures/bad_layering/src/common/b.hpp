@@ -1,0 +1,3 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+#include "common/a.hpp"

@@ -1,0 +1,6 @@
+// Fixture: stand-in dist header so the inverted include resolves.
+#pragma once
+
+namespace fx {
+struct Comm {};
+}  // namespace fx

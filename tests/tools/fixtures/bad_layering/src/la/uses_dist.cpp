@@ -1,0 +1,8 @@
+// Fixture: a layering inversion — the la layer reaching up into dist.
+#include "dist/comm.hpp"
+
+namespace fx {
+
+double kernel(double x) { return 2.0 * x; }
+
+}  // namespace fx

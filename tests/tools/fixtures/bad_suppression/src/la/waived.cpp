@@ -1,0 +1,13 @@
+// Fixture: a waiver with no justification.  The waiver silences the
+// alloc diagnostic it covers, but must itself surface as [suppression].
+#include <vector>
+
+namespace fx {
+
+void warm(std::vector<double>& pool, std::size_t n) {
+  SA_STEADY_STATE;
+  // sa-lint: allow(alloc)
+  pool.resize(n);
+}
+
+}  // namespace fx

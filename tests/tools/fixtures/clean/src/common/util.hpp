@@ -1,0 +1,7 @@
+// Fixture: a common-layer header with no dependencies, as the layering
+// rule requires.
+#pragma once
+
+namespace fx {
+inline double bias() { return 0.5; }
+}  // namespace fx

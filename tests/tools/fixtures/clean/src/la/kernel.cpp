@@ -1,0 +1,27 @@
+// Fixture: the negative control — an annotated steady-state kernel whose
+// call chain stays on pre-sized storage, one justified waiver on a
+// grow-only warmup path, and layer-respecting includes.
+#include "common/util.hpp"
+
+#include <vector>
+
+namespace fx {
+
+double accumulate(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total;
+}
+
+double hot_kernel(const std::vector<double>& xs) {
+  SA_STEADY_STATE;
+  return accumulate(xs) + fx::bias();
+}
+
+void warm(std::vector<double>& pool, std::size_t n) {
+  SA_STEADY_STATE;
+  // sa-lint: allow(alloc): grow-only warmup, steady state never resizes
+  if (pool.size() < n) pool.resize(n);
+}
+
+}  // namespace fx

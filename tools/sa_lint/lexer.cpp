@@ -1,0 +1,200 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sa_lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses a `sa-lint: allow(...)` directive out of a comment's text and
+/// records it against `line`.
+void parse_directive(const std::string& comment, int line, LexedFile& out) {
+  const std::string key = "sa-lint:";
+  const std::size_t at = comment.find(key);
+  if (at == std::string::npos) return;
+  std::size_t i = at + key.size();
+  while (i < comment.size() && comment[i] == ' ') ++i;
+  const std::string allow = "allow(";
+  if (comment.compare(i, allow.size(), allow) != 0) return;
+  i += allow.size();
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string::npos) return;
+  Suppression s;
+  std::string rule;
+  for (std::size_t j = i; j <= close; ++j) {
+    const char c = comment[j];
+    if (c == ',' || c == ')') {
+      if (!rule.empty()) s.rules.insert(rule);
+      rule.clear();
+    } else if (c != ' ') {
+      rule += c;
+    }
+  }
+  // Justification: anything substantive after "):" or ") --".
+  std::size_t j = close + 1;
+  while (j < comment.size() && (comment[j] == ' ' || comment[j] == ':' ||
+                                comment[j] == '-'))
+    ++j;
+  std::size_t letters = 0;
+  for (std::size_t k = j; k < comment.size(); ++k)
+    if (ident_char(comment[k])) ++letters;
+  s.justified = letters >= 3;
+  out.suppressions[line] = s;
+}
+
+}  // namespace
+
+bool LexedFile::suppressed(const std::string& rule, int line) const {
+  for (const int l : {line, line - 1}) {
+    const auto it = suppressions.find(l);
+    if (it != suppressions.end() && it->second.rules.count(rule) > 0)
+      return true;
+  }
+  return false;
+}
+
+LexedFile lex_file(const std::string& abs_path, const std::string& rel) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("sa_lint: cannot read " + abs_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+
+  LexedFile out;
+  out.rel = rel;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+      if (src[i] == '\n') ++line;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int at = line;
+      std::string text;
+      while (i < n && src[i] != '\n') text += src[i++];
+      parse_directive(text, at, out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::string text;
+      advance(2);
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        text += src[i];
+        advance(1);
+      }
+      advance(2);
+      // Attach to the line the comment ENDS on: a standalone block
+      // comment suppresses the statement below it, like a line comment.
+      parse_directive(text, line, out);
+      continue;
+    }
+    // Preprocessor directive: consumed whole (with continuations); only
+    // quoted #include targets surface as data.
+    if (c == '#') {
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance(2);
+          text += ' ';
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i];
+        advance(1);
+      }
+      std::size_t p = 1;
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (text.compare(p, 7, "include") == 0) {
+        const std::size_t open = text.find('"', p);
+        if (open != std::string::npos) {
+          const std::size_t end = text.find('"', open + 1);
+          if (end != std::string::npos)
+            out.includes.push_back(
+                {line, text.substr(open + 1, end - open - 1)});
+        }
+      }
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(') delim += src[d++];
+      const std::string closer = ")" + delim + "\"";
+      const int at = line;
+      advance(d - i + 1);
+      const std::size_t end = src.find(closer, i);
+      advance((end == std::string::npos ? n : end + closer.size()) - i);
+      out.tokens.push_back({Token::Kind::kString, "", at});
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int at = line;
+      advance(1);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') advance(1);
+        advance(1);
+      }
+      advance(1);
+      out.tokens.push_back({quote == '"' ? Token::Kind::kString
+                                         : Token::Kind::kChar,
+                            "", at});
+      continue;
+    }
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string text;
+      const int at = line;
+      while (i < n && ident_char(src[i])) text += src[i++];
+      out.tokens.push_back({Token::Kind::kIdent, text, at});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      const int at = line;
+      while (i < n && (ident_char(src[i]) || src[i] == '.')) text += src[i++];
+      out.tokens.push_back({Token::Kind::kNumber, text, at});
+      continue;
+    }
+    // Punctuation.  "::" and "->" matter to the parser (qualified names,
+    // member calls); everything else is emitted one char at a time.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Token::Kind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({Token::Kind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace sa_lint

@@ -1,0 +1,58 @@
+// Minimal C++ tokenizer for sa_lint.
+//
+// The linter does not need a real C++ front end: its rules key on
+// identifier-level facts (which names a function body calls, which repo
+// headers a file includes, where an SA_STEADY_STATE marker sits), so a
+// comment/string/preprocessor-aware token stream is exactly enough — and
+// keeps the tool LLVM-free, buildable with the project itself.
+//
+// The lexer also owns the suppression grammar.  A comment of the form
+//
+//   // sa-lint: allow(rule[,rule...]): justification text
+//
+// suppresses the named rule(s) on the comment's own line and on the line
+// below it (so it works both trailing and standalone).  A suppression
+// without a justification is itself a diagnostic: waivers must say why.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sa_lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  int line;
+  std::string target;  // the quoted path, e.g. "core/solver.hpp"
+};
+
+struct Suppression {
+  std::set<std::string> rules;
+  bool justified = false;
+};
+
+struct LexedFile {
+  std::string rel;  // path relative to the lint root, '/'-separated
+  std::vector<Token> tokens;
+  std::vector<Include> includes;           // repo-local ("quoted") includes
+  std::map<int, Suppression> suppressions;  // keyed by comment line
+
+  /// True when `rule` is waived on `line` (comment on the same line or
+  /// the line above).
+  bool suppressed(const std::string& rule, int line) const;
+};
+
+/// Tokenizes one file.  Comments and preprocessor directives are consumed
+/// (never tokenized), except that quoted #include targets are recorded
+/// and sa-lint suppression comments are parsed.
+LexedFile lex_file(const std::string& abs_path, const std::string& rel);
+
+}  // namespace sa_lint

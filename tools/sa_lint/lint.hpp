@@ -1,0 +1,58 @@
+// sa_lint — static invariant checker for the sa-opt codebase.
+//
+// Enforces four rule families over every translation unit under
+// <root>/src (LLVM-free: a tokenizer, an include-graph walker, and a
+// name-resolved call graph are enough for invariants that are
+// architectural rather than semantic):
+//
+//   [alloc]        Functions annotated SA_STEADY_STATE (common/
+//                  annotate.hpp) must not reach heap allocation — `new`,
+//                  malloc-family calls, growing STL calls (push_back,
+//                  resize, insert, ...), std::function, unordered
+//                  containers, string building — through any same-repo
+//                  call chain.
+//   [collective]   Only the EngineBase TU (src/core/solver.cpp) and the
+//                  dist layer may call Communicator::allreduce* /
+//                  broadcast_bytes: "exactly one collective per round"
+//                  cannot regress from a stray call site.
+//   [determinism]  Engine/kernel TUs (core, la, dist) may not use
+//                  std::random_device, rand/srand, time(), non-SplitMix64
+//                  RNG engines, or iterate unordered containers (their
+//                  order is unspecified — poison for bitwise-reproducible
+//                  reductions).
+//   [layering]     The include graph must respect the layer order
+//                  (common < {la, io} < {dist, data} < perf < core) and
+//                  contain no cycles.
+//
+// Waivers: `// sa-lint: allow(rule): justification` on (or above) the
+// offending line.  A waiver without a justification is a [suppression]
+// diagnostic — every exception must say why it is sound.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sa_lint {
+
+struct Diagnostic {
+  std::string file;  // relative to the lint root
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t files_scanned = 0;
+};
+
+/// Lints every .hpp/.cpp under <root>/src.  Diagnostics come back sorted
+/// by (file, line, rule) and deduplicated.
+LintResult run_lint(const std::string& root);
+
+/// Formats one diagnostic the way the CLI prints it:
+/// "file:line: error: [rule] message".
+std::string format(const Diagnostic& d);
+
+}  // namespace sa_lint

@@ -1,0 +1,42 @@
+// sa_lint CLI: lints every TU under <root>/src and exits non-zero when
+// any architectural invariant is violated.  Run locally with
+//
+//   ./build/sa_lint .          # from the repo root
+//
+// and see the top-level README ("Static analysis & invariants") for the
+// rule families and the waiver grammar.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: sa_lint [--quiet] [repo-root]\n"
+                  "lints <repo-root>/src; exits 1 on any diagnostic\n");
+      return 0;
+    } else {
+      root = arg;
+    }
+  }
+  try {
+    const sa_lint::LintResult result = sa_lint::run_lint(root);
+    for (const sa_lint::Diagnostic& d : result.diagnostics)
+      std::printf("%s\n", sa_lint::format(d).c_str());
+    if (!quiet || !result.diagnostics.empty())
+      std::printf("sa_lint: %zu files, %zu diagnostic%s\n",
+                  result.files_scanned, result.diagnostics.size(),
+                  result.diagnostics.size() == 1 ? "" : "s");
+    return result.diagnostics.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sa_lint: %s\n", error.what());
+    return 2;
+  }
+}
