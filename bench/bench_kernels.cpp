@@ -26,6 +26,7 @@
 #include "la/csc.hpp"
 #include "la/csr.hpp"
 #include "la/dense.hpp"
+#include "la/simd/simd.hpp"
 #include "la/vector_batch.hpp"
 #include "la/vector_ops.hpp"
 #include "la/workspace.hpp"
@@ -242,6 +243,69 @@ BENCHMARK(BM_DenseGramDotsCopy)
 BENCHMARK(BM_DenseGramDotsView)
     ->Args({1, 8})->Args({4, 8})->Args({16, 8})
     ->Args({1, 64})->Args({4, 64})->Args({16, 64});
+
+// ---------------------------------------------------------------------------
+// Per-ISA kernel matrix: the fused sampled_gram_and_dots hot path at every
+// dispatchable ISA level (scalar / sse2 / avx2) × {sparse, dense} ×
+// s ∈ {1, 4, 16}, single-thread, with a GFLOP/s counter.  This is the
+// committed-speedup evidence for the SIMD plane (BENCH_kernels.json at the
+// repo root and the README table): avx2 vs scalar on the same config is
+// the dispatch win, scalar matches the pre-dispatch numbers.
+// ---------------------------------------------------------------------------
+
+void bench_kernel_isa_gram_dots(benchmark::State& state,
+                                sa::la::simd::Isa isa, double density) {
+  if (!sa::la::simd::isa_available(isa)) {
+    state.SkipWithError("ISA level not available on this build/machine");
+    return;
+  }
+  const sa::la::simd::Isa entry = sa::la::simd::active_isa();
+  sa::la::simd::set_kernel_isa(isa);
+
+  const std::size_t s = state.range(0);
+  const std::size_t mu = 64;
+  const sa::data::Dataset d = pipeline_dataset(density);
+  const sa::core::RowBlock block(
+      d, sa::data::Partition::block(d.num_points(), 1), 0);
+  sa::data::CoordinateSampler sampler(d.num_features(), mu, 3);
+  std::vector<double> res(block.local_rows(), 1.0);
+  const std::array<std::span<const double>, 1> rhs{
+      std::span<const double>(res)};
+  sa::la::Workspace ws;
+  double flops = 0.0;
+  for (auto _ : state) {
+    const std::span<std::size_t> idx = ws.indices(0, s * mu);
+    for (std::size_t t = 0; t < s; ++t)
+      sampler.next_into(idx.subspan(t * mu, mu));
+    const sa::la::BatchView big = block.view_columns(idx, ws);
+    const std::span<double> buffer =
+        ws.doubles(0, sa::la::fused_buffer_size(s * mu, 1));
+    sa::la::sampled_gram_and_dots(big, rhs, buffer);
+    benchmark::DoNotOptimize(buffer.data());
+    flops += static_cast<double>(big.gram_flops() + big.dot_all_flops());
+  }
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * s * mu);
+
+  sa::la::simd::set_kernel_isa(entry);
+}
+
+#define SA_KERNEL_ISA_BENCH(name, isa, density)                      \
+  void name(benchmark::State& state) {                               \
+    bench_kernel_isa_gram_dots(state, sa::la::simd::Isa::isa,        \
+                               density);                             \
+  }                                                                  \
+  BENCHMARK(name)->Arg(1)->Arg(4)->Arg(16)
+
+SA_KERNEL_ISA_BENCH(BM_KernelGramDots_scalar_sparse, kScalar, 0.02);
+SA_KERNEL_ISA_BENCH(BM_KernelGramDots_sse2_sparse, kSse2, 0.02);
+SA_KERNEL_ISA_BENCH(BM_KernelGramDots_avx2_sparse, kAvx2, 0.02);
+SA_KERNEL_ISA_BENCH(BM_KernelGramDots_scalar_dense, kScalar, 0.5);
+SA_KERNEL_ISA_BENCH(BM_KernelGramDots_sse2_dense, kSse2, 0.5);
+SA_KERNEL_ISA_BENCH(BM_KernelGramDots_avx2_dense, kAvx2, 0.5);
+
+#undef SA_KERNEL_ISA_BENCH
 
 /// Thread-team allreduce cost vs rank count and payload.
 void BM_Allreduce(benchmark::State& state) {

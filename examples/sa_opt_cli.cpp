@@ -25,6 +25,7 @@
 #include "data/scaling.hpp"
 #include "dist/fault.hpp"
 #include "dist/thread_comm.hpp"
+#include "la/simd/simd.hpp"
 
 namespace {
 
@@ -84,6 +85,9 @@ void print_registry() {
       "  --group-size N  uniform group size for group-lasso ids "
       "(default 8)\n"
       "  --ranks P       thread-backed communicator ranks (default 1)\n"
+      "  --kernel-isa L  force the SIMD kernel table: scalar|sse2|avx2\n"
+      "                  (default: best available; SA_KERNEL_ISA env is\n"
+      "                  honored when the flag is absent)\n"
       "  --lambdas N     path grid size (default 20)\n"
       "  --normalize     unit-norm columns before solving\n"
       "  --trace-csv F   write the solver trace to CSV file F\n"
@@ -172,6 +176,20 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--ranks") {
       args.ranks = std::atoi(value());
       if (args.ranks < 1) usage();
+    } else if (flag == "--kernel-isa") {
+      const char* name = value();
+      sa::la::simd::Isa isa;
+      if (!sa::la::simd::parse_isa(name, isa)) {
+        std::fprintf(stderr, "unknown --kernel-isa: %s\n", name);
+        usage();
+      }
+      if (!sa::la::simd::set_kernel_isa(isa)) {
+        std::fprintf(stderr,
+                     "error: --kernel-isa %s is not available on this "
+                     "build/machine\n",
+                     name);
+        std::exit(2);
+      }
     } else if (flag == "--lambdas") {
       args.num_lambdas = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--normalize") {
@@ -261,9 +279,11 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
   // the disk write itself runs on the async writer's thread.
   const sa::dist::CommStats& st = result.stats;
   std::printf("phase seconds: pack %.4f  reduce-wait %.4f  apply %.4f  "
-              "checkpoint %.4f  (pipeline %s)\n",
+              "checkpoint %.4f  (pipeline %s, kernels %s)\n",
               st.pack_seconds, st.wait_seconds, st.apply_seconds,
-              st.checkpoint_seconds, spec.pipeline ? "on" : "off");
+              st.checkpoint_seconds, spec.pipeline ? "on" : "off",
+              sa::la::simd::to_cstring(
+                  static_cast<sa::la::simd::Isa>(st.kernel_isa)));
   // Printed whenever the fault plane was armed, even when nothing fired —
   // "retries 0" is the all-clear the chaos smoke greps for.
   if (!args.inject_faults.empty() || spec.fault_detection()) {

@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "core/engine.hpp"
 #include "io/snapshot.hpp"
+#include "la/simd/simd.hpp"
 #include "la/vector_ops.hpp"
 
 namespace sa::core {
@@ -503,6 +504,8 @@ SolveResult EngineBase::finish() {
   assemble(out);  // may communicate; counted in the final stats below
   out.trace = std::move(trace_);
   out.trace.final_stats = comm_.stats();
+  out.trace.final_stats.kernel_isa =
+      static_cast<std::size_t>(la::simd::active_isa());
   out.trace.total_wall_seconds = seconds_since(start_);
   out.stats = out.trace.final_stats;
   return out;

@@ -137,6 +137,13 @@ struct CommStats {
   std::size_t checkpoint_skips = 0;  ///< async checkpoint submissions refused
   double recovery_seconds = 0.0;     ///< backoff + rollback wall time
 
+  // Which kernel table the solve executed with: the numeric value of
+  // la::simd::Isa (0 scalar, 1 sse2, 2 avx2), stamped by the engine at
+  // finish().  Descriptive provenance like the timers — excluded from
+  // snapshots (a resume may legitimately run at a different ISA level)
+  // and from every bitwise-parity comparison.
+  std::size_t kernel_isa = 0;
+
   /// Bytes corresponding to `words` (the library moves 8-byte doubles).
   std::size_t bytes() const { return 8 * words; }
 

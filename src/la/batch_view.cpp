@@ -31,6 +31,7 @@
 
 #include "common/annotate.hpp"
 #include "common/check.hpp"
+#include "la/simd/simd.hpp"
 #include "la/vector_batch.hpp"
 #include "la/vector_ops.hpp"
 
@@ -39,78 +40,13 @@ namespace sa::la {
 namespace {
 
 constexpr std::size_t kGramTile = 32;  // tile edge, multiple of the 4×4 micro
-constexpr std::size_t kGramDepthChunk = 512;  // doubles per depth slice
 // kParallelFlopThreshold (vector_ops.hpp) gates OpenMP use throughout.
-
-/// Full-speed micro-kernel: the 4×4 block of dot products between rows
-/// ri[0..4) and rj[0..4), each of length d.  The omp-simd reduction
-/// licenses the compiler to vectorise the sixteen independent
-/// accumulation chains (named scalars — array reductions defeat the
-/// vectoriser) without enabling unsafe math globally; the lane order is
-/// fixed at compile time, so results stay deterministic.
-inline void micro_gram_4x4(const double* const ri[4],
-                           const double* const rj[4], std::size_t d,
-                           double out[4][4]) {
-  double a00 = 0, a01 = 0, a02 = 0, a03 = 0;
-  double a10 = 0, a11 = 0, a12 = 0, a13 = 0;
-  double a20 = 0, a21 = 0, a22 = 0, a23 = 0;
-  double a30 = 0, a31 = 0, a32 = 0, a33 = 0;
-#pragma omp simd reduction(+ : a00, a01, a02, a03, a10, a11, a12, a13, a20, \
-                               a21, a22, a23, a30, a31, a32, a33)
-  for (std::size_t p = 0; p < d; ++p) {
-    const double x0 = ri[0][p], x1 = ri[1][p], x2 = ri[2][p], x3 = ri[3][p];
-    const double y0 = rj[0][p], y1 = rj[1][p], y2 = rj[2][p], y3 = rj[3][p];
-    a00 += x0 * y0; a01 += x0 * y1; a02 += x0 * y2; a03 += x0 * y3;
-    a10 += x1 * y0; a11 += x1 * y1; a12 += x1 * y2; a13 += x1 * y3;
-    a20 += x2 * y0; a21 += x2 * y1; a22 += x2 * y2; a23 += x2 * y3;
-    a30 += x3 * y0; a31 += x3 * y1; a32 += x3 * y2; a33 += x3 * y3;
-  }
-  out[0][0] = a00; out[0][1] = a01; out[0][2] = a02; out[0][3] = a03;
-  out[1][0] = a10; out[1][1] = a11; out[1][2] = a12; out[1][3] = a13;
-  out[2][0] = a20; out[2][1] = a21; out[2][2] = a22; out[2][3] = a23;
-  out[3][0] = a30; out[3][1] = a31; out[3][2] = a32; out[3][3] = a33;
-}
-
-/// Accumulates the upper-triangular entries of G within the tile
-/// [ib, ie) × [jb, je) into the packed output (zeroed by the caller), one
-/// depth chunk at a time.  Full 4×4 blocks go through the micro-kernel
-/// (diagonal-straddling blocks waste a few lower-triangle FMAs, which is
-/// cheaper than masking); ragged edges fall back to chunked dots.  Each
-/// packed entry belongs to exactly one tile, so the accumulation is
-/// race-free and its order (chunk-major, lane-strided) is fixed.
-void dense_gram_tile(std::span<const double* const> rows, std::size_t dim,
-                     std::size_t k, double* g, std::size_t ib, std::size_t ie,
-                     std::size_t jb, std::size_t je) {
-  for (std::size_t pb = 0; pb < dim; pb += kGramDepthChunk) {
-    const std::size_t pc = std::min(kGramDepthChunk, dim - pb);
-    for (std::size_t i0 = ib; i0 < ie; i0 += 4) {
-      const std::size_t mi = std::min<std::size_t>(4, ie - i0);
-      for (std::size_t j0 = jb; j0 < je; j0 += 4) {
-        const std::size_t mj = std::min<std::size_t>(4, je - j0);
-        if (j0 + mj <= i0) continue;  // block entirely below the diagonal
-        if (mi == 4 && mj == 4) {
-          const double* ri[4] = {rows[i0] + pb, rows[i0 + 1] + pb,
-                                 rows[i0 + 2] + pb, rows[i0 + 3] + pb};
-          const double* rj[4] = {rows[j0] + pb, rows[j0 + 1] + pb,
-                                 rows[j0 + 2] + pb, rows[j0 + 3] + pb};
-          double block[4][4];
-          micro_gram_4x4(ri, rj, pc, block);
-          for (std::size_t a = 0; a < 4; ++a)
-            for (std::size_t b = 0; b < 4; ++b)
-              if (j0 + b >= i0 + a)
-                g[packed_upper_index(i0 + a, j0 + b, k)] += block[a][b];
-        } else {
-          for (std::size_t a = 0; a < mi; ++a)
-            for (std::size_t b = 0; b < mj; ++b)
-              if (j0 + b >= i0 + a)
-                g[packed_upper_index(i0 + a, j0 + b, k)] +=
-                    dot(std::span<const double>(rows[i0 + a] + pb, pc),
-                        std::span<const double>(rows[j0 + b] + pb, pc));
-        }
-      }
-    }
-  }
-}
+//
+// The dense tile walker and its register micro-kernel now live in the
+// runtime-dispatched kernel table (la/simd): the scalar entry is the
+// legacy 4×4 walker verbatim, the AVX2 entry widens it to an 8×8 FMA
+// tile.  Tile calls stay independent (each packed entry belongs to
+// exactly one tile), so the OpenMP schedule below is unchanged.
 
 // ---------------------------------------------------------------------------
 // Sparse kernels: grow-only, all-zero scratch for the accumulator.  Each
@@ -136,34 +72,28 @@ std::vector<double>& sparse_gram_workspace(std::size_t dim) {
 void sparse_fused_row(const BatchView& v, std::size_t i,
                       std::span<const std::span<const double>> xs,
                       std::vector<double>& acc, double* g, double* dots,
-                      std::size_t k) {
+                      std::size_t k, const simd::KernelTable& kt) {
   const std::span<const std::size_t> vi_idx = v.member_indices(i);
   const std::span<const double> vi_val = v.member_values(i);
   for (std::size_t p = 0; p < vi_idx.size(); ++p) acc[vi_idx[p]] = vi_val[p];
   double* row = g + packed_upper_index(i, i, k);
+  // Partner dots gather through v_j's nonzeros (the two-accumulator
+  // legacy order at the scalar level; vector gathers above it).
   for (std::size_t j = i; j < k; ++j) {
     const std::span<const std::size_t> vj_idx = v.member_indices(j);
     const std::span<const double> vj_val = v.member_values(j);
-    const std::size_t n = vj_idx.size();
-    const std::size_t n2 = n - n % 2;
-    double s0 = 0.0, s1 = 0.0;
-    for (std::size_t q = 0; q < n2; q += 2) {
-      s0 += vj_val[q] * acc[vj_idx[q]];
-      s1 += vj_val[q + 1] * acc[vj_idx[q + 1]];
-    }
-    double s = s0 + s1;
-    if (n2 < n) s += vj_val[n2] * acc[vj_idx[n2]];
-    row[j - i] = s;
+    row[j - i] =
+        kt.gather_dot2(vj_val.data(), vj_idx.data(), vj_idx.size(),
+                       acc.data());
   }
-  // Fused dot sections: v_i · x, accumulated in the same sequential order
-  // as the sparse-dense dot kernel (sparse_vector.cpp) — bit-identical to
-  // the separate dot_all pass it replaces.
+  // Fused dot sections: v_i · x, in the same gather order as the
+  // sparse-dense dot kernel (sparse_vector.cpp) — bit-identical to the
+  // separate dot_all pass it replaces.
   for (std::size_t sct = 0; sct < xs.size(); ++sct) {
     const std::span<const double> x = xs[sct];
-    double acc_dot = 0.0;
-    for (std::size_t p = 0; p < vi_idx.size(); ++p)
-      acc_dot += vi_val[p] * x[vi_idx[p]];
-    dots[sct * k + i] = acc_dot;
+    dots[sct * k + i] =
+        kt.gather_dot(vi_val.data(), vi_idx.data(), vi_idx.size(),
+                      x.data());
   }
   for (std::size_t p = 0; p < vi_idx.size(); ++p) acc[vi_idx[p]] = 0.0;
 }
@@ -278,6 +208,7 @@ void sampled_gram_and_dots(const BatchView& y,
   double* g = out.data();
   double* dots = out.data() + tri;
 
+  const simd::KernelTable& kt = simd::active();
   if (y.is_dense()) {
     // Gram: upper-triangle tile pairs, iterated by flat index (no
     // materialised pair list — this runs once per outer iteration and must
@@ -303,9 +234,9 @@ void sampled_gram_and_dots(const BatchView& y,
       const std::size_t tj = ti + (static_cast<std::size_t>(t) - row_start);
       const std::size_t ib = ti * kGramTile;
       const std::size_t jb = tj * kGramTile;
-      dense_gram_tile(y.row_pointers(), d, k, g, ib,
-                      std::min(ib + kGramTile, k), jb,
-                      std::min(jb + kGramTile, k));
+      kt.gram_tile(y.row_pointers().data(), d, k, g, ib,
+                   std::min(ib + kGramTile, k), jb,
+                   std::min(jb + kGramTile, k));
     }
     (void)parallel;
     // Dot sections: same per-member kernel and schedule as dot_all.
@@ -323,13 +254,14 @@ void sampled_gram_and_dots(const BatchView& y,
     std::vector<double>& acc = sparse_gram_workspace(d);
 #pragma omp for schedule(dynamic)
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
-      sparse_fused_row(y, static_cast<std::size_t>(i), xs, acc, g, dots, k);
+      sparse_fused_row(y, static_cast<std::size_t>(i), xs, acc, g, dots, k,
+                       kt);
   }
 #else
   (void)parallel;
   std::vector<double>& acc = sparse_gram_workspace(d);
   for (std::size_t i = 0; i < k; ++i)
-    sparse_fused_row(y, i, xs, acc, g, dots, k);
+    sparse_fused_row(y, i, xs, acc, g, dots, k, kt);
 #endif
 }
 
@@ -355,26 +287,27 @@ void batch_dots(const BatchView& y, std::span<const double> x,
   SA_CHECK(out.size() == y.size(), "batch_dots: output length mismatch");
   const std::size_t k = y.size();
   const bool parallel = 2 * y.nnz() >= kParallelFlopThreshold && k > 1;
+  const simd::KernelTable& kt = simd::active();
   if (y.is_dense()) {
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (parallel)
 #endif
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i)
-      out[i] = dot(y.dense_row(static_cast<std::size_t>(i)), x);
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
+      const std::span<const double> row =
+          y.dense_row(static_cast<std::size_t>(i));
+      out[i] = kt.dot(row.data(), x.data(), row.size());
+    }
   } else {
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) if (parallel)
 #endif
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(k); ++i) {
-      // Same sequential accumulation order as dot(SparseVector, span).
+      // Same gather order as dot(SparseVector, span).
       const std::span<const std::size_t> idx =
           y.member_indices(static_cast<std::size_t>(i));
       const std::span<const double> val =
           y.member_values(static_cast<std::size_t>(i));
-      double acc = 0.0;
-      for (std::size_t p = 0; p < idx.size(); ++p)
-        acc += val[p] * x[idx[p]];
-      out[i] = acc;
+      out[i] = kt.gather_dot(val.data(), idx.data(), idx.size(), x.data());
     }
   }
   (void)parallel;

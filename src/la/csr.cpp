@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "la/simd/simd.hpp"
 #include "la/vector_ops.hpp"
 
 namespace sa::la {
@@ -112,24 +113,18 @@ std::size_t CsrMatrix::row_nnz(std::size_t i) const {
 void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   SA_CHECK(x.size() == cols_ && y.size() == rows_, "spmv: dimension mismatch");
   // Rows are independent (one writer per y[i]), so the loop parallelises
-  // deterministically; the two-accumulator gather breaks the add latency
-  // chain within a row.  Small matrices stay serial to avoid fork cost.
+  // deterministically; the row kernel is the dispatched gather dot
+  // (two-accumulator legacy order at the scalar level, vector gathers
+  // above it).  Small matrices stay serial to avoid fork cost.
   const bool parallel = 2 * nnz() >= kParallelFlopThreshold && rows_ > 1;
+  const simd::KernelTable& kt = simd::active();
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 64) if (parallel)
 #endif
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(rows_); ++i) {
     const std::size_t begin = indptr_[i];
-    const std::size_t end = indptr_[i + 1];
-    const std::size_t mid = begin + (end - begin) / 2 * 2;
-    double a0 = 0.0, a1 = 0.0;
-    for (std::size_t k = begin; k < mid; k += 2) {
-      a0 += values_[k] * x[indices_[k]];
-      a1 += values_[k + 1] * x[indices_[k + 1]];
-    }
-    double acc = a0 + a1;
-    if (mid < end) acc += values_[mid] * x[indices_[mid]];
-    y[i] = acc;
+    y[i] = kt.gather_dot2(values_.data() + begin, indices_.data() + begin,
+                          indptr_[i + 1] - begin, x.data());
   }
   (void)parallel;
 }

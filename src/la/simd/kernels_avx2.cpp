@@ -1,0 +1,48 @@
+// AVX2+FMA kernel table: the width-generic bodies instantiated at
+// 4 lanes with true fused multiply-add and hardware gathers.
+//
+// This is the only TU compiled with -mavx2 -mfma (see CMakeLists); the
+// dispatcher refuses to hand out this table unless CPUID reports both
+// features, so baseline hardware never executes these encodings.
+// Contraction stays off even here: the only FMAs are the explicit
+// _mm256_fmadd_pd calls in vmadd, so elementwise kernels built on
+// vmul+vadd (axpy) keep their two-rounding, cross-ISA-identical shape.
+#include <cstddef>
+
+#include "la/simd/kernels.hpp"
+
+#if SA_SIMD_X86 && defined(__AVX2__) && defined(__FMA__)
+
+#include "la/simd/kernels_impl.hpp"
+
+namespace sa::la::simd {
+namespace {
+
+constexpr KernelTable kAvx2Table = {
+    Isa::kAvx2,
+    &detail::dot<VecAvx2>,
+    &detail::axpy<VecAvx2>,
+    &detail::nrm2sq<VecAvx2>,
+    &detail::asum<VecAvx2>,
+    &detail::sum<VecAvx2>,
+    &detail::gather_dot<VecAvx2>,
+    // Both gather orders collapse to the vector kernel (see the SSE2 TU).
+    &detail::gather_dot<VecAvx2>,
+    &detail::gram_tile<VecAvx2>,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+}  // namespace sa::la::simd
+
+#else  // toolchain cannot emit AVX2+FMA
+
+namespace sa::la::simd {
+
+const KernelTable* avx2_table() { return nullptr; }
+
+}  // namespace sa::la::simd
+
+#endif

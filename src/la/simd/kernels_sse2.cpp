@@ -1,0 +1,48 @@
+// SSE2 kernel table: the width-generic bodies instantiated at 2 lanes.
+//
+// Compiled with pinned baseline flags (-march=x86-64 -ffp-contract=off,
+// see CMakeLists): SSE2 is the x86-64 baseline, so the pin's job here
+// is to keep an -march=native / SA_NATIVE build from leaking AVX
+// encodings into this table, and contraction-off keeps GCC from fusing
+// the wrappers' explicit mul+add into FMA where the host allows it —
+// either would change results under runtime dispatch on other hosts.
+#include <cstddef>
+
+#include "la/simd/kernels.hpp"
+
+#if SA_SIMD_X86
+
+#include "la/simd/kernels_impl.hpp"
+
+namespace sa::la::simd {
+namespace {
+
+constexpr KernelTable kSse2Table = {
+    Isa::kSse2,
+    &detail::dot<VecSse2>,
+    &detail::axpy<VecSse2>,
+    &detail::nrm2sq<VecSse2>,
+    &detail::asum<VecSse2>,
+    &detail::sum<VecSse2>,
+    &detail::gather_dot<VecSse2>,
+    // The split sequential / two-accumulator gather orders are a scalar
+    // bit contract; at SIMD levels both slots run the vector kernel.
+    &detail::gather_dot<VecSse2>,
+    &detail::gram_tile<VecSse2>,
+};
+
+}  // namespace
+
+const KernelTable* sse2_table() { return &kSse2Table; }
+
+}  // namespace sa::la::simd
+
+#else  // !SA_SIMD_X86
+
+namespace sa::la::simd {
+
+const KernelTable* sse2_table() { return nullptr; }
+
+}  // namespace sa::la::simd
+
+#endif  // SA_SIMD_X86

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "la/simd/simd.hpp"
 
 namespace sa::la {
 
@@ -38,10 +39,8 @@ double dot(const SparseVector& a, const SparseVector& b) {
 
 double dot(const SparseVector& a, std::span<const double> x) {
   SA_CHECK(x.size() == a.dim, "sparse-dense dot: length mismatch");
-  double acc = 0.0;
-  for (std::size_t k = 0; k < a.indices.size(); ++k)
-    acc += a.values[k] * x[a.indices[k]];
-  return acc;
+  return simd::active().gather_dot(a.values.data(), a.indices.data(),
+                                   a.indices.size(), x.data());
 }
 
 void axpy(double alpha, const SparseVector& a, std::span<double> y) {

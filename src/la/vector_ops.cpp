@@ -4,43 +4,24 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "la/simd/simd.hpp"
 
 namespace sa::la {
 
-// Reduction kernels are 4-way unrolled: independent accumulators break the
-// loop-carried add dependency (one FMA latency per element otherwise) and
-// let the compiler keep four vector registers in flight.  The summation
-// order (lane-strided, lanes combined left-to-right at the end) differs
-// from the naive loop but is fixed, so results stay run-to-run and
-// rank-count deterministic.
+// BLAS-1 reductions route through the runtime-dispatched kernel table
+// (la/simd): the scalar entry is the legacy 4-way-unrolled loop
+// verbatim, the SIMD entries widen it with explicit vector lanes.  Each
+// table entry uses a fixed accumulation order, so results stay
+// run-to-run and rank-count deterministic within any ISA level.
 
 double dot(std::span<const double> x, std::span<const double> y) {
   SA_CHECK(x.size() == y.size(), "dot: length mismatch");
-  const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (std::size_t i = 0; i < n4; i += 4) {
-    a0 += x[i] * y[i];
-    a1 += x[i + 1] * y[i + 1];
-    a2 += x[i + 2] * y[i + 2];
-    a3 += x[i + 3] * y[i + 3];
-  }
-  double acc = (a0 + a1) + (a2 + a3);
-  for (std::size_t i = n4; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  return simd::active().dot(x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   SA_CHECK(x.size() == y.size(), "axpy: length mismatch");
-  const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  for (std::size_t i = 0; i < n4; i += 4) {
-    y[i] += alpha * x[i];
-    y[i + 1] += alpha * x[i + 1];
-    y[i + 2] += alpha * x[i + 2];
-    y[i + 3] += alpha * x[i + 3];
-  }
-  for (std::size_t i = n4; i < n; ++i) y[i] += alpha * x[i];
+  simd::active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(double alpha, std::span<double> x) {
@@ -50,33 +31,11 @@ void scale(double alpha, std::span<double> x) {
 double nrm2(std::span<const double> x) { return std::sqrt(nrm2_squared(x)); }
 
 double nrm2_squared(std::span<const double> x) {
-  const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (std::size_t i = 0; i < n4; i += 4) {
-    a0 += x[i] * x[i];
-    a1 += x[i + 1] * x[i + 1];
-    a2 += x[i + 2] * x[i + 2];
-    a3 += x[i + 3] * x[i + 3];
-  }
-  double acc = (a0 + a1) + (a2 + a3);
-  for (std::size_t i = n4; i < n; ++i) acc += x[i] * x[i];
-  return acc;
+  return simd::active().nrm2sq(x.data(), x.size());
 }
 
 double asum(std::span<const double> x) {
-  const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (std::size_t i = 0; i < n4; i += 4) {
-    a0 += std::abs(x[i]);
-    a1 += std::abs(x[i + 1]);
-    a2 += std::abs(x[i + 2]);
-    a3 += std::abs(x[i + 3]);
-  }
-  double acc = (a0 + a1) + (a2 + a3);
-  for (std::size_t i = n4; i < n; ++i) acc += std::abs(x[i]);
-  return acc;
+  return simd::active().asum(x.data(), x.size());
 }
 
 double inf_norm(std::span<const double> x) {
@@ -95,18 +54,7 @@ void fill(std::span<double> x, double value) {
 }
 
 double sum(std::span<const double> x) {
-  const std::size_t n = x.size();
-  const std::size_t n4 = n - n % 4;
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  for (std::size_t i = 0; i < n4; i += 4) {
-    a0 += x[i];
-    a1 += x[i + 1];
-    a2 += x[i + 2];
-    a3 += x[i + 3];
-  }
-  double acc = (a0 + a1) + (a2 + a3);
-  for (std::size_t i = n4; i < n; ++i) acc += x[i];
-  return acc;
+  return simd::active().sum(x.data(), x.size());
 }
 
 double max_rel_diff(std::span<const double> x, std::span<const double> y) {

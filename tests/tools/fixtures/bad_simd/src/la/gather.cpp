@@ -1,0 +1,35 @@
+// Fixture: an intrinsic-heavy SIMD gather kernel hiding two determinism
+// hazards.  Proves the walker extracts function bodies through __m256d
+// registers, _mm256_* calls, and reinterpret_casts rather than bailing
+// on the unfamiliar tokens — the hazards sit below the vector loop.
+#include <cstddef>
+#include <ctime>
+#include <immintrin.h>
+#include <random>
+
+namespace fx {
+
+double jittered_dot(const double* vals, const long long* idx,
+                    std::size_t n, const double* x) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t q = 0;
+  for (; q + 4 <= n; q += 4) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + q));
+    const __m256d gathered = _mm256_i64gather_pd(x, vi, 8);
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(vals + q), gathered, acc);
+  }
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  double out = _mm_cvtsd_f64(lo) +
+               _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo)) +
+               _mm_cvtsd_f64(hi) +
+               _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  for (; q < n; ++q) out += vals[q] * x[idx[q]];
+  std::mt19937 noise(12345);  // non-SplitMix64 engine (line 29)
+  out += static_cast<double>(noise()) * 1e-18;
+  out += static_cast<double>(std::time(nullptr)) * 0.0;  // clock (line 31)
+  return out;
+}
+
+}  // namespace fx

@@ -62,6 +62,18 @@ TEST(SaLint, DeterminismHazardsInKernelTu) {
   EXPECT_TRUE(has(r, "src/la/sum.cpp", 17, "determinism")) << dump(r);
 }
 
+TEST(SaLint, WalkerSeesThroughIntrinsicHeavyCode) {
+  const LintResult r = lint_fixture("bad_simd");
+  // The hazards sit BELOW an AVX2 gather loop: __m256d locals, _mm256_*
+  // calls, reinterpret_casts.  Finding them proves the tokenizer and
+  // function extractor survive intrinsic-heavy kernels (src/la/simd/)
+  // instead of silently skipping the body — and that plain intrinsics
+  // do not themselves trip [determinism].
+  EXPECT_TRUE(has(r, "src/la/gather.cpp", 29, "determinism")) << dump(r);
+  EXPECT_TRUE(has(r, "src/la/gather.cpp", 31, "determinism")) << dump(r);
+  EXPECT_EQ(r.diagnostics.size(), 2u) << dump(r);
+}
+
 TEST(SaLint, LayeringInversionAndCycle) {
   const LintResult r = lint_fixture("bad_layering");
   // la reaching up into dist inverts the layer order.
