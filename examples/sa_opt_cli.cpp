@@ -25,6 +25,7 @@
 #include "data/scaling.hpp"
 #include "dist/fault.hpp"
 #include "dist/thread_comm.hpp"
+#include "io/snapshot.hpp"
 #include "la/simd/simd.hpp"
 
 namespace {
@@ -253,8 +254,28 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
     spec.checkpoint_path = args.checkpoint;
     spec.checkpoint_every = args.checkpoint_every;
   }
-  if (!args.resume.empty())
-    std::printf("resuming from %s\n", args.resume.c_str());
+  // The snapshot's reduction-grouping parameters decide the summation
+  // order the continued run must reproduce — surface them alongside the
+  // resume notice and on the phase summary line below.
+  std::string grouping_note;
+  if (!args.resume.empty()) {
+    const sa::io::SnapshotReader snap =
+        sa::io::SnapshotReader::read_file(args.resume);
+    const std::span<const std::uint64_t> g = snap.u64s("core/grouping", 3);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ", grouping v%llu chunk %llu of %llu",
+                  static_cast<unsigned long long>(g[0]),
+                  static_cast<unsigned long long>(g[1]),
+                  static_cast<unsigned long long>(g[2]));
+    grouping_note = buf;
+    std::printf("resuming from %s (reduction grouping v%llu, chunk size "
+                "%llu over global extent %llu)\n",
+                args.resume.c_str(),
+                static_cast<unsigned long long>(g[0]),
+                static_cast<unsigned long long>(g[1]),
+                static_cast<unsigned long long>(g[2]));
+  }
 
   sa::dist::FaultPlan plan;
   if (!args.inject_faults.empty()) {
@@ -279,11 +300,12 @@ int run_solver(const Args& args, const sa::data::Dataset& dataset) {
   // the disk write itself runs on the async writer's thread.
   const sa::dist::CommStats& st = result.stats;
   std::printf("phase seconds: pack %.4f  reduce-wait %.4f  apply %.4f  "
-              "checkpoint %.4f  (pipeline %s, kernels %s)\n",
+              "checkpoint %.4f  (pipeline %s, kernels %s%s)\n",
               st.pack_seconds, st.wait_seconds, st.apply_seconds,
               st.checkpoint_seconds, spec.pipeline ? "on" : "off",
               sa::la::simd::to_cstring(
-                  static_cast<sa::la::simd::Isa>(st.kernel_isa)));
+                  static_cast<sa::la::simd::Isa>(st.kernel_isa)),
+              grouping_note.c_str());
   // Printed whenever the fault plane was armed, even when nothing fired —
   // "retries 0" is the all-clear the chaos smoke greps for.
   if (!args.inject_faults.empty() || spec.fault_detection()) {

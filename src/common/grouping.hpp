@@ -1,0 +1,72 @@
+// Fixed global reduction grouping — the schema that makes cross-rank sums
+// rank-count invariant.
+//
+// Floating-point addition does not associate, so a reduction whose partial
+// sums follow the rank partition produces different bits at different rank
+// counts.  ReduceGrouping replaces the per-rank partial with a fixed grid
+// of global chunks over the reduction axis (rows for the Lasso families,
+// features for SVM): every rank accumulates per-chunk partials for the
+// chunks it owns, the chunks travel on the wire side by side (one slot per
+// chunk, foreign slots contribute +0.0), and after the collective every
+// rank folds the chunks left-to-right in global-chunk order.  The fold
+// order depends only on the grid — never on how chunks were distributed —
+// so serial and P-rank sums are bitwise identical whenever the rank
+// partition is chunk-aligned (data::Partition::block_aligned).
+//
+// The grid is part of the reproducibility contract: io::snapshot records
+// kReduceGroupingVersion and the chunk size, and SnapshotReader rejects a
+// mismatched grid descriptively rather than resuming into different bits.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace sa::common {
+
+/// Version of the grouping schema recorded in snapshots.  Bump when the
+/// chunk-grid policy or the fold order changes incompatibly.
+inline constexpr std::uint64_t kReduceGroupingVersion = 1;
+
+/// Target chunk count for the automatic policy: enough chunks that block
+/// partitions up to ~64 ranks stay chunk-aligned, few enough that the
+/// G-slot wire stays a small multiple of the payload.
+inline constexpr std::size_t kReduceGroupingTargetChunks = 64;
+
+/// The fixed global chunk grid: `extent` elements split into chunks of
+/// `chunk` elements each (the last chunk may be short).
+struct ReduceGrouping {
+  std::size_t extent = 0;  ///< global size of the reduction axis
+  std::size_t chunk = 1;   ///< elements per chunk
+
+  /// Builds the grid for `extent` elements.  A non-zero `chunk_override`
+  /// (SolverSpec::reduction_chunk) pins the chunk size; otherwise the
+  /// automatic policy targets kReduceGroupingTargetChunks chunks.
+  static ReduceGrouping make(std::size_t extent,
+                             std::size_t chunk_override = 0) {
+    ReduceGrouping g;
+    g.extent = extent;
+    if (chunk_override != 0) {
+      g.chunk = chunk_override;
+    } else {
+      const std::size_t target =
+          std::max<std::size_t>(1, std::min(extent, kReduceGroupingTargetChunks));
+      g.chunk = (extent + target - 1) / target;  // 0 extent → chunk 1
+      if (g.chunk == 0) g.chunk = 1;
+    }
+    return g;
+  }
+
+  std::size_t num_chunks() const {
+    if (extent == 0) return 1;
+    return (extent + chunk - 1) / chunk;
+  }
+  std::size_t begin(std::size_t c) const {
+    return std::min(c * chunk, extent);
+  }
+  std::size_t end(std::size_t c) const {
+    return std::min((c + 1) * chunk, extent);
+  }
+};
+
+}  // namespace sa::common

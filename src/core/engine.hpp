@@ -43,10 +43,12 @@
 // (asserted per algorithm by tests/core/test_round_pipeline.cpp).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <memory>
 
+#include "common/grouping.hpp"
 #include "core/group_lasso.hpp"  // GroupLassoOptions (for to_spec)
 #include "core/solver.hpp"
 #include "data/partition.hpp"
@@ -139,13 +141,49 @@ class EngineBase : public Solver {
   /// gap needs a full margins reduction, so the SVM engine leaves this
   /// off and keeps gap/objective stopping at trace points.
   virtual bool has_round_objective() const { return false; }
-  /// Local summand of the objective at the CURRENT iterate (pack time).
-  virtual double local_objective_partial() { return 0.0; }
-  /// Full replicated objective from the reduced partial.
+  /// Writes this rank's objective partials into the per-chunk block
+  /// (msg.objective_chunks(), grouping().num_chunks() entries): one
+  /// partial per OWNED global chunk, at the chunk's grid index; foreign
+  /// entries arrive zeroed and must stay +0.0.  Evaluated at the CURRENT
+  /// iterate (pack time).
+  virtual void write_objective_chunks(std::span<double> chunks) {
+    (void)chunks;
+  }
+  /// Full replicated objective from the chunk-folded reduced partial.
   virtual double objective_from_partial(double reduced_partial) {
     (void)reduced_partial;
     return 0.0;
   }
+
+  /// The fixed global reduction grouping this solve accumulates in.
+  /// Derived constructors call init_grouping with the global extent of
+  /// their reduction axis (rows for the regression families, features for
+  /// SVM); it sizes the grid from SolverSpec::reduction_chunk and arms
+  /// both round-message buffers.
+  void init_grouping(std::size_t extent);
+  const common::ReduceGrouping& grouping() const { return grouping_; }
+
+  /// Visits every global chunk that intersects this rank's slice
+  /// [part_begin, part_end) as fn(chunk_index, global_begin, global_end)
+  /// — the loop every chunked pack site shares.  Iterating the full grid
+  /// (rather than just the owned chunks) keeps the chunk indices global,
+  /// which is what makes the wire slots line up across rank counts.
+  template <typename Fn>
+  void for_owned_chunks(std::size_t part_begin, std::size_t part_end,
+                        Fn&& fn) const {
+    for (std::size_t c = 0; c < grouping_.num_chunks(); ++c) {
+      const std::size_t b = std::max(grouping_.begin(c), part_begin);
+      const std::size_t e = std::min(grouping_.end(c), part_end);
+      if (b < e) fn(c, b, e);
+    }
+  }
+
+  /// Collective helper for trace-point norms: reduces ||v||² where this
+  /// rank owns the slice of the global vector starting at `global_begin`,
+  /// accumulating per-global-chunk partials folded in chunk order — the
+  /// rank-count-invariant replacement for allreduce_sum_scalar(nrm2²(v)).
+  double grouped_norm_allreduce(std::span<const double> local,
+                                std::size_t global_begin);
 
   /// Evaluates the traced quantity (objective / duality gap) at
   /// `iteration` and pushes a TracePoint.  Implementations must exclude
@@ -193,8 +231,15 @@ class EngineBase : public Solver {
   // The per-round message plane: ONE collective per outer round, with the
   // stopping criteria riding as trailer sections (sized once, up front).
   // Slot 1 of the same arena backs gather_full's assembly buffer; slot 2
-  // is the second round-message buffer the pipeline ping-pongs with.
-  enum : std::size_t { kMsgSlot = 0, kGatherSlot = 1, kMsgSlotB = 2 };
+  // is the second round-message buffer the pipeline ping-pongs with; slot
+  // 3 backs grouped_norm_allreduce's per-chunk partial block.
+  enum : std::size_t {
+    kMsgSlot = 0,
+    kGatherSlot = 1,
+    kMsgSlotB = 2,
+    kTraceSlot = 3
+  };
+  common::ReduceGrouping grouping_;
   la::Workspace msg_ws_;
   dist::RoundMessage msg_{msg_ws_, kMsgSlot};
   dist::RoundMessage msg_b_{msg_ws_, kMsgSlotB};

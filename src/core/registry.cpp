@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/grouping.hpp"
 #include "core/engine.hpp"
 #include "dist/fault.hpp"
 #include "dist/thread_comm.hpp"
@@ -92,6 +93,18 @@ std::unique_ptr<Solver> make_solver(dist::Communicator& comm,
   return info.factory(comm, dataset, partition, spec);
 }
 
+data::Partition partition_for_ranks(const data::Dataset& dataset,
+                                    const SolverSpec& spec, int ranks) {
+  const AlgorithmInfo& info =
+      SolverRegistry::instance().require(spec.algorithm);
+  const std::size_t extent = info.axis == PartitionAxis::kRows
+                                 ? dataset.num_points()
+                                 : dataset.num_features();
+  const std::size_t chunk =
+      common::ReduceGrouping::make(extent, spec.reduction_chunk).chunk;
+  return data::Partition::block_aligned(extent, ranks, chunk);
+}
+
 SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec,
                   const std::string& resume_from,
                   const dist::FaultPlan* faults) {
@@ -104,11 +117,9 @@ SolveResult solve(const data::Dataset& dataset, const SolverSpec& spec,
     faulty = std::make_unique<dist::FaultyComm>(base_comm, *faults);
     comm = faulty.get();
   }
-  const std::size_t extent = info.axis == PartitionAxis::kRows
-                                 ? dataset.num_points()
-                                 : dataset.num_features();
   const std::unique_ptr<Solver> solver =
-      info.factory(*comm, dataset, data::Partition::block(extent, 1), spec);
+      info.factory(*comm, dataset, partition_for_ranks(dataset, spec, 1),
+                   spec);
   if (!resume_from.empty()) solver->restore_from_file(resume_from);
   return solver->run();
 }
@@ -121,10 +132,9 @@ SolveResult solve_on_ranks(const data::Dataset& dataset,
   if (ranks == 1) return solve(dataset, spec, resume_from, faults);
   const AlgorithmInfo& info =
       SolverRegistry::instance().require(spec.algorithm);
-  const std::size_t extent = info.axis == PartitionAxis::kRows
-                                 ? dataset.num_points()
-                                 : dataset.num_features();
-  const data::Partition part = data::Partition::block(extent, ranks);
+  // Chunk-aligned boundaries: every global reduction chunk has a single
+  // owner, so the chunked round sums match the serial fold bitwise.
+  const data::Partition part = partition_for_ranks(dataset, spec, ranks);
   SolveResult result;
   std::mutex lock;
   dist::run_distributed(ranks, [&](dist::Communicator& comm) {

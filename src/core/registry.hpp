@@ -89,6 +89,18 @@ std::unique_ptr<Solver> make_solver(dist::Communicator& comm,
                                     const data::Partition& partition,
                                     const SolverSpec& spec);
 
+/// The partition solve()/solve_on_ranks() build for `ranks` ranks: a
+/// block partition of the algorithm's axis whose boundaries are ALIGNED
+/// to the solve's fixed reduction-chunk grid
+/// (common::ReduceGrouping::make over the axis extent and
+/// spec.reduction_chunk).  Alignment is what makes every global chunk
+/// single-owner, so the chunked round sums — and therefore entire traces
+/// — are bitwise identical across rank counts.  Exported so tests and
+/// drivers that construct solvers directly can reproduce the exact
+/// partition grid.
+data::Partition partition_for_ranks(const data::Dataset& dataset,
+                                    const SolverSpec& spec, int ranks);
+
 /// Serial convenience (P = 1): builds the trivial partition on the right
 /// axis and runs to completion.  A non-empty `resume_from` restores the
 /// solver from that snapshot file before running (the continued solve is

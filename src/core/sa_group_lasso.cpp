@@ -60,7 +60,11 @@ class GroupLassoEngine final : public detail::EngineBase {
         ws.member_value_spans(k_max);
         ws.member_rows(k_max);
       }
+      range_ws_.member_index_spans(k_max);
+      range_ws_.member_value_spans(k_max);
+      range_ws_.member_rows(k_max);
     }
+    init_grouping(rows_.total());
 
     if (!spec_.x0.empty()) {
       x_ = spec_.x0;
@@ -93,8 +97,7 @@ class GroupLassoEngine final : public detail::EngineBase {
     // Trace instrumentation: runs only at user-requested trace points,
     // outside the round plane, and restores the comm stats it perturbs.
     const double total_sq =
-        // sa-lint: allow(collective): trace-point instrumentation only
-        comm_.allreduce_sum_scalar(la::nrm2_squared(res_));
+        grouped_norm_allreduce(res_, rows_.begin(comm_.rank()));
     const double penalty = penalty_value();
     comm_.set_stats(snapshot);
     push_trace_point(iteration, 0.5 * total_sq + penalty, snapshot);
@@ -106,11 +109,17 @@ class GroupLassoEngine final : public detail::EngineBase {
   // the iterate that produced the partial.
   bool has_round_objective() const override { return true; }
 
-  double local_objective_partial() override {
+  void write_objective_chunks(std::span<double> chunks) override {
     pending_penalty_ = penalty_value();
     comm_.add_flops(2 * res_.size());
     comm_.add_replicated_flops(2 * n_);
-    return la::nrm2_squared(res_);
+    const std::size_t pb = rows_.begin(comm_.rank());
+    const std::span<const double> res(res_);
+    for_owned_chunks(pb, rows_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       chunks[c] =
+                           la::nrm2_squared(res.subspan(b - pb, e - b));
+                     });
   }
 
   double objective_from_partial(double reduced_partial) override {
@@ -150,8 +159,15 @@ class GroupLassoEngine final : public detail::EngineBase {
     //     section waits for finish_round (it reads the residual the
     //     previous apply just updated). ---
     msg.layout(detail::triangle_size(k), k, 0);
-    la::sampled_gram(big_b_[buf],
-                     msg.section(dist::RoundSection::kGram));
+    // Gram partials per OWNED global row chunk, each into its fixed wire
+    // slot (rank-count-invariant reduction grouping).
+    const std::size_t pb = rows_.begin(comm_.rank());
+    for_owned_chunks(pb, rows_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       la::sampled_gram_range(
+                           big_b_[buf], b - pb, e - pb, range_ws_,
+                           msg.chunk_section(dist::RoundSection::kGram, c));
+                     });
     comm_.add_flops(big_b_[buf].gram_flops());
   }
 
@@ -160,7 +176,14 @@ class GroupLassoEngine final : public detail::EngineBase {
     (void)s_eff;
     const std::array<std::span<const double>, 1> rhs{
         std::span<const double>(res_)};
-    la::sampled_dots(big_b_[buf], rhs, msg.dots());
+    const std::span<const std::span<const double>> rhs_span(rhs);
+    const std::size_t pb = rows_.begin(comm_.rank());
+    for_owned_chunks(pb, rows_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       la::sampled_dots_range(big_b_[buf], rhs_span, b - pb,
+                                              e - pb, range_ws_,
+                                              msg.chunk_dots(c));
+                     });
     comm_.add_flops(big_b_[buf].dot_all_flops());
   }
 
@@ -304,6 +327,8 @@ class GroupLassoEngine final : public detail::EngineBase {
   std::vector<std::size_t> offset_b_[2];
   std::span<std::size_t> idx_b_[2];
   la::BatchView big_b_[2];
+  // Scratch for the narrowed per-chunk views (see LassoEngine::range_ws_).
+  la::Workspace range_ws_;
   std::uint64_t rng_mark_ = 0;
   double pending_penalty_ = 0.0;
 };

@@ -62,6 +62,7 @@ class LassoEngine final : public detail::EngineBase {
       for (std::size_t i = 0; i < z_img_.size(); ++i)
         z_img_[i] = -block_.labels()[i];
     }
+    init_grouping(rows_.total());
     eig_scratch_.reserve(mu_);
     // Flat pending-update table + touched list (replaces a per-iteration
     // map): pending[coord] accumulates this round's deferred updates and
@@ -81,6 +82,9 @@ class LassoEngine final : public detail::EngineBase {
         ws.member_value_spans(k_max);
         ws.member_rows(k_max);
       }
+      range_ws_.member_index_spans(k_max);
+      range_ws_.member_value_spans(k_max);
+      range_ws_.member_rows(k_max);
       sampler_.reserve_rewind(k_max);
     }
   }
@@ -126,8 +130,7 @@ class LassoEngine final : public detail::EngineBase {
     // Trace instrumentation: runs only at user-requested trace points,
     // outside the round plane, and restores the comm stats it perturbs.
     const double total_sq =
-        // sa-lint: allow(collective): trace-point instrumentation only
-        comm_.allreduce_sum_scalar(la::nrm2_squared(res_scratch_));
+        grouped_norm_allreduce(res_scratch_, rows_.begin(comm_.rank()));
     const double penalty = penalty_value(x_scratch_);
     comm_.set_stats(snapshot);
     push_trace_point(iteration, 0.5 * total_sq + penalty, snapshot);
@@ -140,13 +143,19 @@ class LassoEngine final : public detail::EngineBase {
   // with the iterate that produced the partial.
   bool has_round_objective() const override { return true; }
 
-  double local_objective_partial() override {
+  void write_objective_chunks(std::span<double> chunks) override {
     write_current_x(x_scratch_);
     pending_penalty_ = penalty_value(x_scratch_);
     write_current_residual();
     comm_.add_flops(2 * res_scratch_.size());
     comm_.add_replicated_flops(2 * n_);
-    return la::nrm2_squared(res_scratch_);
+    const std::size_t pb = rows_.begin(comm_.rank());
+    const std::span<const double> res(res_scratch_);
+    for_owned_chunks(pb, rows_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       chunks[c] =
+                           la::nrm2_squared(res.subspan(b - pb, e - b));
+                     });
   }
 
   double objective_from_partial(double reduced_partial) override {
@@ -173,8 +182,16 @@ class LassoEngine final : public detail::EngineBase {
     //     the previous apply just updated. ---
     const std::size_t k_dots = spec_.accelerated ? k : 0;
     msg.layout(detail::triangle_size(k), k, k_dots);
-    la::sampled_gram(big_b_[buf],
-                     msg.section(dist::RoundSection::kGram));
+    // Gram partials per OWNED global row chunk, each into its fixed wire
+    // slot — the per-chunk sums are identical on every rank count, so the
+    // chunk-order fold after the reduction is too.
+    const std::size_t pb = rows_.begin(comm_.rank());
+    for_owned_chunks(pb, rows_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       la::sampled_gram_range(
+                           big_b_[buf], b - pb, e - pb, range_ws_,
+                           msg.chunk_section(dist::RoundSection::kGram, c));
+                     });
     comm_.add_flops(big_b_[buf].gram_flops());
   }
 
@@ -184,10 +201,15 @@ class LassoEngine final : public detail::EngineBase {
     const std::size_t sections = spec_.accelerated ? 2 : 1;
     const std::array<std::span<const double>, 2> rhs{
         std::span<const double>(y_img_), std::span<const double>(z_img_)};
-    la::sampled_dots(big_b_[buf],
-                     std::span<const std::span<const double>>(
-                         rhs.data() + (spec_.accelerated ? 0 : 1), sections),
-                     msg.dots());
+    const std::span<const std::span<const double>> rhs_span(
+        rhs.data() + (spec_.accelerated ? 0 : 1), sections);
+    const std::size_t pb = rows_.begin(comm_.rank());
+    for_owned_chunks(pb, rows_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       la::sampled_dots_range(big_b_[buf], rhs_span, b - pb,
+                                              e - pb, range_ws_,
+                                              msg.chunk_dots(c));
+                     });
     comm_.add_flops(sections * big_b_[buf].dot_all_flops());
   }
 
@@ -405,6 +427,12 @@ class LassoEngine final : public detail::EngineBase {
   la::Workspace round_ws_[2];
   std::span<std::size_t> idx_b_[2];
   la::BatchView big_b_[2];
+  // Scratch workspace for the narrowed (per-chunk) views the range
+  // kernels build — distinct from the round workspaces because the named
+  // descriptor pools are one-buffer-per-Workspace and the original view
+  // must stay intact for apply_round.  One suffices even with the
+  // pipeline: narrowed views are consumed inside each kernel call.
+  la::Workspace range_ws_;
   double pending_penalty_ = 0.0;
 
   // Trace scratch, reused across every trace point (no fresh vectors).

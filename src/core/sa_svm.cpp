@@ -48,6 +48,10 @@ class SvmEngine final : public detail::EngineBase {
         x_loc_(block_.local_cols(), 0.0),
         theta_(spec.unroll_depth()),
         margins_(m_) {
+    // The SVM reduces over the FEATURE axis (the primal slice is
+    // column-partitioned), so the fixed grouping chunks columns.
+    init_grouping(cols_.total());
+    margins_chunks_.resize(grouping().num_chunks() * m_);
     if (spec_.pipeline) {
       // Pre-size both round buffers up front, so short (never-speculating)
       // and long solves make identical allocations
@@ -59,6 +63,9 @@ class SvmEngine final : public detail::EngineBase {
         ws.member_value_spans(k_max);
         ws.member_rows(k_max);
       }
+      range_ws_.member_index_spans(k_max);
+      range_ws_.member_value_spans(k_max);
+      range_ws_.member_rows(k_max);
     }
   }
 
@@ -69,13 +76,26 @@ class SvmEngine final : public detail::EngineBase {
     const std::vector<double>& b = block_.labels();
     const dist::CommStats snapshot = comm_.stats();
     // Duality gap evaluation (instrumentation only): margins need the full
-    // A·x, assembled from per-rank partial products with one allreduce.
-    block_.matrix().spmv(x_loc_, margins_);
+    // A·x.  Each rank contributes per-global-column-chunk partial
+    // products; one allreduce combines the G·m block, and the chunk-order
+    // fold below is identical on every rank count (the rank-count-
+    // invariant replacement for summing whole per-rank partials).
+    la::fill(margins_chunks_, 0.0);
+    const std::size_t pb = cols_.begin(comm_.rank());
+    for_owned_chunks(pb, cols_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       block_.matrix().spmv_col_range(
+                           x_loc_, b - pb, e - pb,
+                           std::span<double>(margins_chunks_)
+                               .subspan(c * m_, m_));
+                     });
     // sa-lint: allow(collective): duality-gap trace instrumentation only
-    comm_.allreduce_sum(margins_);
-    const double x_norm_sq =
-        // sa-lint: allow(collective): same trace point, stats restored
-        comm_.allreduce_sum_scalar(la::nrm2_squared(x_loc_));
+    comm_.allreduce_sum(margins_chunks_);
+    la::fill(margins_, 0.0);
+    for (std::size_t c = 0; c < grouping().num_chunks(); ++c)
+      for (std::size_t i = 0; i < m_; ++i)
+        margins_[i] += margins_chunks_[c * m_ + i];
+    const double x_norm_sq = grouped_norm_allreduce(x_loc_, pb);
     double hinge_sum = 0.0;
     for (std::size_t i = 0; i < m_; ++i) {
       const double slack = std::max(0.0, 1.0 - b[i] * margins_[i]);
@@ -102,8 +122,15 @@ class SvmEngine final : public detail::EngineBase {
     //     section waits for finish_round (it reads the primal slice the
     //     previous apply just updated). ---
     msg.layout(detail::triangle_size(s_eff), s_eff, 0);
-    la::sampled_gram(batch_b_[buf],
-                     msg.section(dist::RoundSection::kGram));
+    // Gram partials per OWNED global column chunk, each into its fixed
+    // wire slot (rank-count-invariant reduction grouping).
+    const std::size_t pb = cols_.begin(comm_.rank());
+    for_owned_chunks(pb, cols_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       la::sampled_gram_range(
+                           batch_b_[buf], b - pb, e - pb, range_ws_,
+                           msg.chunk_section(dist::RoundSection::kGram, c));
+                     });
     comm_.add_flops(batch_b_[buf].gram_flops());
   }
 
@@ -112,7 +139,14 @@ class SvmEngine final : public detail::EngineBase {
     (void)s_eff;
     const std::array<std::span<const double>, 1> rhs{
         std::span<const double>(x_loc_)};
-    la::sampled_dots(batch_b_[buf], rhs, msg.dots());
+    const std::span<const std::span<const double>> rhs_span(rhs);
+    const std::size_t pb = cols_.begin(comm_.rank());
+    for_owned_chunks(pb, cols_.end(comm_.rank()),
+                     [&](std::size_t c, std::size_t b, std::size_t e) {
+                       la::sampled_dots_range(batch_b_[buf], rhs_span,
+                                              b - pb, e - pb, range_ws_,
+                                              msg.chunk_dots(c));
+                     });
     comm_.add_flops(batch_b_[buf].dot_all_flops());
   }
 
@@ -176,6 +210,10 @@ class SvmEngine final : public detail::EngineBase {
               out.x.begin() + cols_.begin(comm_.rank()));
     // sa-lint: allow(collective): one-time assembly after the solve loop
     comm_.allreduce_sum(out.x);
+    // Serial keeps a coordinate's −0.0 bit; multi-rank sums it with the
+    // other ranks' +0.0 and gets +0.0.  Canonicalize so the assembled
+    // solution is bitwise identical on every rank count.
+    for (double& v : out.x) v += 0.0;
     out.alpha = alpha_;
   }
 
@@ -221,10 +259,15 @@ class SvmEngine final : public detail::EngineBase {
   la::Workspace round_ws_[2];
   std::span<std::size_t> idx_b_[2];
   la::BatchView batch_b_[2];
+  // Scratch for the narrowed per-chunk views (see LassoEngine::range_ws_).
+  la::Workspace range_ws_;
   std::uint64_t rng_mark_ = 0;
 
-  // Trace scratch, reused across every trace point (no fresh vectors).
+  // Trace scratch, reused across every trace point (no fresh vectors):
+  // the folded margins and the per-global-chunk partial block (G·m) the
+  // duality-gap reduction accumulates in.
   std::vector<double> margins_;
+  std::vector<double> margins_chunks_;
 };
 
 }  // namespace

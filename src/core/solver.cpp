@@ -102,6 +102,10 @@ SolverSpec& SolverSpec::with_checkpoint(std::string path,
   checkpoint_every = every_n;
   return *this;
 }
+SolverSpec& SolverSpec::with_reduction_chunk(std::size_t elements) {
+  reduction_chunk = elements;
+  return *this;
+}
 SolverSpec& SolverSpec::with_pipeline(bool on) {
   pipeline = on;
   return *this;
@@ -363,8 +367,10 @@ void EngineBase::run_round(std::size_t s_eff) {
     msg_b_sized_ = true;
   }
   if (piggyback_objective_)
-    msg.section(dist::RoundSection::kObjective)[0] =
-        local_objective_partial();
+    // Per-global-chunk objective partials (one entry per owned chunk;
+    // foreign entries were zeroed by layout) — reduce_wait folds them in
+    // chunk order, so the summed partial is rank-count invariant.
+    write_objective_chunks(msg.objective_chunks());
   if (piggyback_wall_)
     // Replicated decision: every rank adopts rank 0's clock, so the ranks
     // agree on when to stop (their local clocks may not).  Sampled at
@@ -593,6 +599,16 @@ void EngineBase::save_state(io::SnapshotWriter& out) {
   out.push_double(spec_.elastic_net_l1);
   out.push_double(spec_.elastic_net_l2);
 
+  // The reduction grouping is part of the reproducibility fingerprint:
+  // every cross-rank sum folded under this grid, so resuming under a
+  // different grid (or a build speaking a different grouping schema)
+  // would change the bits.  Recorded as [schema version, chunk size,
+  // extent] and verified descriptively at load.
+  out.begin_u64s("core/grouping", 3);
+  out.push_u64(common::kReduceGroupingVersion);
+  out.push_u64(grouping_.chunk);
+  out.push_u64(grouping_.extent);
+
   // Round-loop and stopping-criterion progress.  rounds_run_ rides along
   // so fault recovery replays rounds under their ORIGINAL indices — a
   // seeded fault plan keyed by round number stays meaningful across a
@@ -661,6 +677,25 @@ void EngineBase::load_state(const io::SnapshotReader& in) {
   require_match_real("lambda", spec_reals[0], spec_.lambda);
   require_match_real("elastic-net l1", spec_reals[1], spec_.elastic_net_l1);
   require_match_real("elastic-net l2", spec_reals[2], spec_.elastic_net_l2);
+
+  // Reduction-grouping fingerprint: the snapshot's sums were folded under
+  // this grid, so a solver on a different grid cannot continue them
+  // bitwise.  Version first — a future grouping schema must fail by NAME,
+  // not as a puzzling chunk-size mismatch.
+  const std::span<const std::uint64_t> grouping_words =
+      in.u64s("core/grouping", 3);
+  if (grouping_words[0] != common::kReduceGroupingVersion) {
+    std::ostringstream os;
+    os << "snapshot: reduction grouping version " << grouping_words[0]
+       << " in the snapshot, but this build implements grouping version "
+       << common::kReduceGroupingVersion
+       << " — its fixed-grouping sums cannot be continued bitwise";
+    throw io::SnapshotError(os.str());
+  }
+  require_match_u64("reduction grouping chunk size", grouping_words[1],
+                    grouping_.chunk);
+  require_match_u64("reduction grouping extent", grouping_words[2],
+                    grouping_.extent);
 
   const std::span<const std::uint64_t> state_words =
       in.u64s("core/state_words", 9);
@@ -751,7 +786,40 @@ std::span<const double> EngineBase::gather_full(
   la::fill(full, 0.0);
   la::copy(local, full.subspan(begin, local.size()));
   comm_.allreduce_sum(full);
+  // Canonicalise -0.0 → +0.0: each entry is owned by one rank, so the sum
+  // is exact, but a -0.0 entry stays -0.0 serially while P ≥ 2 sums it to
+  // +0.0 — the one bit pattern that could differ across rank counts.
+  for (double& v : full) v += 0.0;
   return full;
+}
+
+void EngineBase::init_grouping(std::size_t extent) {
+  grouping_ = common::ReduceGrouping::make(extent, spec_.reduction_chunk);
+  msg_.set_grouping(grouping_.num_chunks());
+  msg_b_.set_grouping(grouping_.num_chunks());
+}
+
+double EngineBase::grouped_norm_allreduce(std::span<const double> local,
+                                          std::size_t global_begin) {
+  SA_STEADY_STATE;
+  const std::size_t g = grouping_.num_chunks();
+  const std::span<double> partials = msg_ws_.doubles(kTraceSlot, g);
+  la::fill(partials, 0.0);
+  const std::size_t lo = global_begin;
+  const std::size_t hi = global_begin + local.size();
+  for (std::size_t c = 0; c < g; ++c) {
+    const std::size_t b = std::max(grouping_.begin(c), lo);
+    const std::size_t e = std::min(grouping_.end(c), hi);
+    if (b >= e) continue;
+    partials[c] = la::nrm2_squared(local.subspan(b - lo, e - b));
+  }
+  comm_.allreduce_sum(partials);
+  // Chunk-order fold (from +0.0, so a -0.0 chunk total is canonicalised):
+  // the accumulation order depends only on the chunk grid, never on the
+  // rank count.
+  double total = 0.0;
+  for (std::size_t c = 0; c < g; ++c) total += partials[c];
+  return total;
 }
 
 void EngineBase::snapshot_to_file(const std::string& path) {

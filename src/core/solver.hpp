@@ -151,6 +151,18 @@ struct SolverSpec {
   double round_deadline = 0.0;  ///< seconds a round's collective may take
                                 ///< before CommFailure(kTimeout) (0 = none)
 
+  // -- reduction grouping -----------------------------------------------
+  // Chunk size of the fixed global reduction grouping
+  // (common/grouping.hpp): every cross-rank sum accumulates per-global-
+  // chunk partials that are folded in chunk order, so serial and P-rank
+  // runs of the same spec are bitwise identical (and a solve checkpointed
+  // at P ranks resumes at Q ranks bitwise) whenever the rank partition is
+  // chunk-aligned (data::Partition::block_aligned — what solve/
+  // solve_on_ranks build).  0 = automatic (targets ~64 chunks).  The
+  // grouping is part of the snapshot fingerprint: resuming under a
+  // different chunk size is rejected descriptively.
+  std::size_t reduction_chunk = 0;  ///< elements per chunk (0 = auto)
+
   // -- round pipeline ---------------------------------------------------
   // Double-buffered round pipeline (default on): round k+1's coordinate
   // draw and Gram triangle are packed while round k's allreduce is in
@@ -180,6 +192,7 @@ struct SolverSpec {
   SolverSpec& with_gap_tolerance(double tol);
   SolverSpec& with_wall_clock_budget(double seconds);
   SolverSpec& with_checkpoint(std::string path, std::size_t every_n);
+  SolverSpec& with_reduction_chunk(std::size_t elements);
   SolverSpec& with_pipeline(bool on);
   SolverSpec& with_max_retries(std::size_t retries);
   SolverSpec& with_retry_backoff(double seconds);

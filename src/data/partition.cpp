@@ -18,6 +18,21 @@ Partition Partition::block(std::size_t n, int num_ranks) {
   return Partition(std::move(offsets));
 }
 
+Partition Partition::block_aligned(std::size_t n, int num_ranks,
+                                   std::size_t alignment) {
+  SA_CHECK(num_ranks >= 1, "Partition::block_aligned: need at least one rank");
+  SA_CHECK(alignment >= 1, "Partition::block_aligned: alignment must be >= 1");
+  if (alignment == 1) return block(n, num_ranks);
+  // Block-partition the chunk grid, then scale the boundaries back to
+  // element space, clamping the tail (the last chunk may be short).
+  const std::size_t chunks = (n + alignment - 1) / alignment;
+  const Partition grid = block(chunks, num_ranks);
+  std::vector<std::size_t> offsets(num_ranks + 1, 0);
+  for (int r = 0; r <= num_ranks; ++r)
+    offsets[r] = std::min(grid.offsets()[r] * alignment, n);
+  return Partition(std::move(offsets));
+}
+
 Partition::Partition(std::vector<std::size_t> offsets)
     : offsets_(std::move(offsets)) {
   SA_CHECK(offsets_.size() >= 2, "Partition: need at least one block");

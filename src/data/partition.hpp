@@ -23,6 +23,15 @@ class Partition {
   /// Balanced block partition: sizes differ by at most one.
   static Partition block(std::size_t n, int num_ranks);
 
+  /// Balanced block partition whose boundaries fall on multiples of
+  /// `alignment` (except the final boundary, n): the chunks of the fixed
+  /// reduction grouping (common/grouping.hpp) are block-partitioned and
+  /// the boundaries scaled back up, so every rank owns whole chunks and
+  /// the per-chunk reduction partials are rank-count invariant.  With
+  /// alignment 1 this is exactly block().
+  static Partition block_aligned(std::size_t n, int num_ranks,
+                                 std::size_t alignment);
+
   /// Partition with explicit boundaries; offsets must start at 0, end at n,
   /// and be non-decreasing.
   explicit Partition(std::vector<std::size_t> offsets);

@@ -11,51 +11,93 @@ std::span<double> RoundMessage::layout(std::size_t gram_words,
                                        std::size_t dots2_words) {
   words_ = {gram_words, dots1_words, dots2_words, trailer_objective_,
             trailer_flags_, trailer_checksum_};
-  std::size_t running = 0;
-  for (std::size_t i = 0; i < kRoundSectionCount; ++i) {
-    offset_[i] = running;
-    running += words_[i];
+  chunk_offset_ = {0, gram_words, gram_words + dots1_words};
+  chunk_stride_ = gram_words + dots1_words + dots2_words;
+  const std::size_t g = chunks_;
+  // Wire: G chunk bodies, the G-chunk objective block, then the scalar
+  // trailer words.  With G == 1 this is byte-for-byte the legacy layout.
+  const std::size_t bodies = g * chunk_stride_;
+  const std::size_t objective = g * trailer_objective_;
+  wire_words_ = bodies + objective + trailer_flags_ + trailer_checksum_;
+  // section() offsets: stop-flags/checksum always alias the wire; the
+  // body + objective sections alias the wire when G == 1 and the fold
+  // region (appended past the wire) when G > 1.
+  const std::size_t fold = g > 1 ? wire_words_ : 0;
+  offset_[0] = fold + 0;
+  offset_[1] = fold + gram_words;
+  offset_[2] = fold + gram_words + dots1_words;
+  offset_[3] = fold + chunk_stride_;
+  offset_[4] = bodies + objective;
+  offset_[5] = bodies + objective + trailer_flags_;
+  const std::size_t total =
+      g > 1 ? wire_words_ + chunk_stride_ + trailer_objective_ : wire_words_;
+  buffer_ = ws_.doubles(slot_, total);
+  if (g > 1) {
+    // Every chunk slot must start from +0.0: a rank only writes the
+    // chunks it owns, and foreign slots still hold the PREVIOUS round's
+    // reduced values.  (The fold region is recomputed by reduce_wait, but
+    // clearing it too keeps the buffer state trivially reasoned about.)
+    la::fill(buffer_, 0.0);
+  } else {
+    // The body is overwritten wholesale by the fused kernel; the trailer
+    // is written field-by-field by the round skeleton, so clear it here in
+    // case a rank packs fewer fields than the schema reserves (non-rank-0
+    // clocks).
+    la::fill(buffer_.subspan(chunk_stride_), 0.0);
   }
-  buffer_ = ws_.doubles(slot_, running);
-  // The body is overwritten wholesale by the fused kernel; the trailer is
-  // written field-by-field by the round skeleton, so clear it here in case
-  // a rank packs fewer fields than the schema reserves (non-rank-0 clocks).
-  const std::size_t body = gram_words + dots1_words + dots2_words;
-  la::fill(buffer_.subspan(body), 0.0);
-  return buffer_.first(body);
+  return buffer_.first(chunk_stride_);
 }
 
 void RoundMessage::seal() {
   if (trailer_checksum_ == 0) return;
-  const std::size_t body =
-      words_[0] + words_[1] + words_[2];  // gram + dots1 + dots2
-  const std::uint64_t digest = payload_digest(buffer_.first(body));
+  const std::uint64_t digest =
+      payload_digest(buffer_.first(chunks_ * chunk_stride_));
   section(RoundSection::kChecksum)[0] =
       static_cast<double>(digest & 0xffffffffull);
 }
 
 void RoundMessage::reduce_start(Communicator& comm) {
-  comm.allreduce_start(buffer_);
-  for (std::size_t i = 0; i < kRoundSectionCount; ++i)
-    comm.note_section(static_cast<RoundSection>(i), words_[i]);
+  comm.allreduce_start(buffer_.first(wire_words_));
+  // Metering reports WIRE words: chunked sections cost G slots each.
+  for (std::size_t i = 0; i < kRoundSectionCount; ++i) {
+    const std::size_t factor = i <= 3 ? chunks_ : 1;  // body + objective
+    comm.note_section(static_cast<RoundSection>(i), factor * words_[i]);
+  }
 }
 
 void RoundMessage::reduce_wait(Communicator& comm, double deadline_seconds) {
   comm.allreduce_wait(deadline_seconds);
-  if (trailer_checksum_ == 0 || !comm.reduce_digest_enabled()) return;
-  // Re-hash the delivered buffer against the communicator's delivery
-  // receipt: any bit that changed between the backend handing the sums
-  // back and this message consuming them is caught HERE, before
-  // apply_round touches solver state.
-  const std::uint64_t receipt = comm.last_reduce_digest();
-  const std::uint64_t delivered = payload_digest(buffer_);
-  if (receipt != delivered) {
-    // sa-lint: allow(alloc): corruption error path, formats then throws
-    std::ostringstream os;
-    os << "RoundMessage::reduce_wait: reduced payload of "
-       << buffer_.size() << " words failed checksum validation (delivery "
-       << "digest " << receipt << ", buffer digest " << delivered << ")";
-    throw CommFailure(FailureKind::kCorruption, os.str());
+  if (trailer_checksum_ != 0 && comm.reduce_digest_enabled()) {
+    // Re-hash the delivered wire against the communicator's delivery
+    // receipt: any bit that changed between the backend handing the sums
+    // back and this message consuming them is caught HERE, before
+    // apply_round touches solver state.
+    const std::uint64_t receipt = comm.last_reduce_digest();
+    const std::uint64_t delivered = payload_digest(buffer_.first(wire_words_));
+    if (receipt != delivered) {
+      // sa-lint: allow(alloc): corruption error path, formats then throws
+      std::ostringstream os;
+      os << "RoundMessage::reduce_wait: reduced payload of " << wire_words_
+         << " words failed checksum validation (delivery "
+         << "digest " << receipt << ", buffer digest " << delivered << ")";
+      throw CommFailure(FailureKind::kCorruption, os.str());
+    }
+  }
+  if (chunks_ <= 1) return;
+  // Fold the reduced chunks left-to-right in GLOBAL-CHUNK order into the
+  // fold region section() serves.  The order depends only on the chunk
+  // grid — never on the rank count — and starting from +0.0 canonicalises
+  // any -0.0 chunk total, so serial and P-rank folds are bit-identical.
+  std::span<double> fold = buffer_.subspan(
+      wire_words_, chunk_stride_ + trailer_objective_);
+  la::fill(fold, 0.0);
+  for (std::size_t c = 0; c < chunks_; ++c) {
+    const std::span<const double> body =
+        buffer_.subspan(c * chunk_stride_, chunk_stride_);
+    for (std::size_t i = 0; i < chunk_stride_; ++i) fold[i] += body[i];
+    for (std::size_t j = 0; j < trailer_objective_; ++j)
+      fold[chunk_stride_ + j] +=
+          buffer_[chunks_ * chunk_stride_ + c * trailer_objective_ + j];
   }
 }
 

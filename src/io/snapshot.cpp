@@ -219,6 +219,15 @@ SnapshotReader SnapshotReader::parse(std::span<const std::uint8_t> bytes) {
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + kVersionOffset, sizeof(version));
+  if (version == 2) {
+    // Pre-grouping snapshots are structurally readable but semantically
+    // uncontinuable: their sums were accumulated per-rank, not in the
+    // fixed global chunk grid, so a bitwise resume is impossible.
+    fail("format version 2 predates the fixed reduction grouping "
+         "(core/grouping, format version 3) — its sums were accumulated "
+         "per-rank and cannot be continued bitwise; re-checkpoint with "
+         "this build");
+  }
   if (version != kSnapshotVersion) {
     std::ostringstream os;
     os << "unsupported format version " << version << " (this build reads "

@@ -54,8 +54,13 @@ class SnapshotError : public std::runtime_error {
 
 // Version history: 1 = initial format; 2 = wider core/stats +
 // core/state_words payload (the kChecksum round section and the round
-// counter fault recovery replays from).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+// counter fault recovery replays from); 3 = fixed reduction grouping
+// (the core/grouping section recording the global chunk grid every
+// cross-rank sum accumulates in — what makes resume rank-count
+// invariant).  Older snapshots predate that grouping, so their sums
+// cannot be continued bitwise; version 3 readers reject them with a
+// message saying so.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 inline constexpr std::size_t kSnapshotHeaderBytes = 24;
 inline constexpr char kSnapshotMagic[8] = {'S', 'A', 'O', 'P',
                                            'T', 'S', 'N', 'P'};

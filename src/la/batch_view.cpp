@@ -28,6 +28,7 @@
 #include "la/batch_view.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/annotate.hpp"
 #include "common/check.hpp"
@@ -278,6 +279,74 @@ void sampled_dots(const BatchView& y,
            "sampled_dots: buffer size mismatch");
   for (std::size_t sct = 0; sct < xs.size(); ++sct)
     batch_dots(y, xs[sct], out.subspan(sct * k, k));
+}
+
+namespace {
+
+/// Builds the [begin, end)-restricted view in `scratch`.  Dense members
+/// shift their row pointers (the staged rows are contiguous) and the view
+/// narrows to end − begin; sparse members narrow their nonzero spans via
+/// lower_bound over the sorted index arrays, keeping absolute indices (and
+/// therefore the full dimension) so the gather kernels read the same
+/// values they would in a full-range pass.
+BatchView narrowed_view(const BatchView& y, std::size_t begin,
+                        std::size_t end, Workspace& scratch) {
+  const std::size_t k = y.size();
+  if (y.is_dense()) {
+    std::span<const double*> rows = scratch.member_rows(k);
+    for (std::size_t i = 0; i < k; ++i)
+      rows[i] = y.row_pointers()[i] + begin;
+    return BatchView::dense(rows, end - begin);
+  }
+  std::span<std::span<const std::size_t>> idx =
+      scratch.member_index_spans(k);
+  std::span<std::span<const double>> val = scratch.member_value_spans(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::span<const std::size_t> mi = y.member_indices(i);
+    const std::span<const double> mv = y.member_values(i);
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(mi.begin(), mi.end(), begin) - mi.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(mi.begin() + lo, mi.end(), end) - mi.begin());
+    idx[i] = mi.subspan(lo, hi - lo);
+    val[i] = mv.subspan(lo, hi - lo);
+  }
+  return BatchView::sparse(idx, val, y.dim());
+}
+
+}  // namespace
+
+void sampled_gram_range(const BatchView& y, std::size_t begin,
+                        std::size_t end, Workspace& scratch,
+                        std::span<double> out) {
+  SA_STEADY_STATE;
+  SA_CHECK(begin <= end && end <= y.dim(),
+           "sampled_gram_range: invalid range");
+  sampled_gram(narrowed_view(y, begin, end, scratch), out);
+}
+
+void sampled_dots_range(const BatchView& y,
+                        std::span<const std::span<const double>> xs,
+                        std::size_t begin, std::size_t end,
+                        Workspace& scratch, std::span<double> out) {
+  SA_STEADY_STATE;
+  SA_CHECK(begin <= end && end <= y.dim(),
+           "sampled_dots_range: invalid range");
+  SA_CHECK(xs.size() <= kMaxDotSections,
+           "sampled_dots_range: too many right-hand sides");
+  const BatchView view = narrowed_view(y, begin, end, scratch);
+  if (!y.is_dense()) {
+    // Sparse members kept absolute indices, which gather through the FULL
+    // right-hand sides.
+    sampled_dots(view, xs, out);
+    return;
+  }
+  std::array<std::span<const double>, kMaxDotSections> sub;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    sub[i] = xs[i].subspan(begin, end - begin);
+  sampled_dots(view, std::span<const std::span<const double>>(sub.data(),
+                                                              xs.size()),
+               out);
 }
 
 void batch_dots(const BatchView& y, std::span<const double> x,

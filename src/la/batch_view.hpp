@@ -161,4 +161,33 @@ void sampled_dots(const BatchView& y,
                   std::span<const std::span<const double>> xs,
                   std::span<double> out);
 
+// Per-global-chunk entry points for the fixed reduction grouping
+// (common/grouping.hpp): the same kernels, restricted to coordinate range
+// [begin, end) of the shared dimension.  The restricted view's descriptor
+// arrays are built in `scratch` — a Workspace DISTINCT from the one that
+// built `y`, because the named descriptor pools hand out one buffer per
+// Workspace — so steady-state calls allocate nothing.  Bit contract: a
+// chunk partial depends only on the member values inside [begin, end),
+// their order, and the kernels in this translation unit, so any two ranks
+// (or rank counts) that own the same global chunk produce identical bits.
+
+/// Maximum number of right-hand sides sampled_dots_range accepts (the
+/// solvers use at most two).
+inline constexpr std::size_t kMaxDotSections = 4;
+
+/// Packed Gram of the view restricted to [begin, end): out must have
+/// k(k+1)/2 entries.
+void sampled_gram_range(const BatchView& y, std::size_t begin,
+                        std::size_t end, Workspace& scratch,
+                        std::span<double> out);
+
+/// Dot sections of the view restricted to [begin, end): for dense views
+/// the right-hand sides are narrowed to the same range; for sparse views
+/// the members keep their absolute indices (which gather through the FULL
+/// right-hand sides), so pass xs whole either way.
+void sampled_dots_range(const BatchView& y,
+                        std::span<const std::span<const double>> xs,
+                        std::size_t begin, std::size_t end,
+                        Workspace& scratch, std::span<double> out);
+
 }  // namespace sa::la

@@ -129,6 +129,28 @@ void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   (void)parallel;
 }
 
+void CsrMatrix::spmv_col_range(std::span<const double> x,
+                               std::size_t col_begin, std::size_t col_end,
+                               std::span<double> y) const {
+  SA_CHECK(x.size() == cols_ && y.size() == rows_,
+           "spmv_col_range: dimension mismatch");
+  SA_CHECK(col_begin <= col_end && col_end <= cols_,
+           "spmv_col_range: invalid range");
+  // Scalar nonzero-order accumulation: the chunk partial must depend only
+  // on the in-range nonzeros, so every rank count (including serial, which
+  // walks the same global chunk grid) produces identical bits.  Column
+  // indices are sorted within a row, so the range is one contiguous run.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::size_t* first = indices_.data() + indptr_[i];
+    const std::size_t* last = indices_.data() + indptr_[i + 1];
+    const std::size_t* lo = std::lower_bound(first, last, col_begin);
+    double acc = 0.0;
+    for (const std::size_t* k = lo; k != last && *k < col_end; ++k)
+      acc += values_[static_cast<std::size_t>(k - indices_.data())] * x[*k];
+    y[i] += acc;
+  }
+}
+
 void CsrMatrix::spmv_transpose(std::span<const double> x,
                                std::span<double> y) const {
   SA_CHECK(x.size() == rows_ && y.size() == cols_,

@@ -242,6 +242,52 @@ TEST(TreeAllreduce, ChunkedPathEngagesAtDefaultThresholdPayloads) {
   });
 }
 
+class TreeChunkStraddleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeChunkStraddleSweep, ChunkedPairLoopIsExactOnNonPowerOfTwoRanks) {
+  // Regression for the chunked within-pair loop on non-power-of-two rank
+  // counts: the binomial tree pairs a shrinking active set (odd survivors
+  // get a bye), and the chunk split across idle helpers must cover exactly
+  // [0, n) for every absorbing pair.  Payloads straddling the chunk
+  // threshold probe the off-by-one edges of that split.
+  const int p = GetParam();
+  const std::size_t threshold = 64;
+
+  auto reduce = [&](std::size_t chunk_threshold, std::size_t n) {
+    ThreadTeam team(p, /*tree_threshold=*/2, chunk_threshold);
+    std::vector<std::vector<double>> got(p);
+    team.run([&](ThreadComm& comm) {
+      std::vector<double> mine = rank_contribution(comm.rank(), n);
+      comm.allreduce_sum(mine);
+      got[comm.rank()] = std::move(mine);
+    });
+    return got;
+  };
+
+  for (const std::size_t n :
+       {threshold - 1, threshold, threshold + 1, 2 * threshold + 1}) {
+    // The single-owner tree (huge chunk threshold) is the bit reference:
+    // chunking only splits each pair's element loop across helpers, so
+    // the chunked result must agree bit-for-bit, on every rank, across
+    // repeated runs.
+    const auto whole = reduce(std::size_t{1} << 30, n);
+    const auto chunked_a = reduce(threshold, n);
+    const auto chunked_b = reduce(threshold, n);
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(chunked_a[r].size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(chunked_a[r][i], chunked_b[r][i])
+            << "p=" << p << " n=" << n << " rank " << r << " elt " << i;
+        EXPECT_EQ(chunked_a[r][i], whole[r][i])
+            << "p=" << p << " n=" << n << " rank " << r << " elt " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NonPowerOfTwoRanks, TreeChunkStraddleSweep,
+                         ::testing::Values(3, 5, 6, 7));
+
 TEST(TreeAllreduce, DefaultThresholdEngagesTreeAtSixteenRanks) {
   // 16 ranks ≥ kDefaultTreeThreshold: exact-in-any-order payload sums
   // still come out right through the tree, on repeated collectives.

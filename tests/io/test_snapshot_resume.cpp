@@ -1,22 +1,30 @@
 // Bitwise-resume conformance suite for the snapshot subsystem.
 //
-// The core guarantee: for every id in registered_algorithms(), serial and
-// 4-rank, a solve that is interrupted at round k, snapshotted, and resumed
-// into a FRESH Solver produces a remaining trace and final solution that
-// are bit-for-bit identical to an uninterrupted run — with every stopping
-// criterion enabled.  Wall-clock readings are the one measured (not
-// replayed) quantity and are excluded from the comparison.
+// The core guarantee: for every id in registered_algorithms(), a solve
+// that is interrupted at round k, snapshotted, and resumed into a FRESH
+// Solver produces a remaining trace and final solution that are
+// bit-for-bit identical to an uninterrupted run — with every stopping
+// criterion enabled.  Since the fixed reduction grouping landed, the
+// guarantee is RANK-COUNT INVARIANT: a snapshot taken on P ranks resumes
+// on Q ranks with the same bits for every (P, Q) in {1,2,4,8}², and
+// uninterrupted traces themselves match bitwise across rank counts.
+// Wall-clock readings and CommStats (whose message/word counts legitimately
+// scale with the rank count) are the measured — not replayed — quantities
+// excluded from cross-rank-count comparisons.
 //
 // Negative paths: truncated images, flipped bytes (checksum), wrong
-// version, and wrong-algorithm snapshots are rejected with descriptive
+// version, pre-grouping (version 2) files, doctored grouping sections,
+// and wrong-algorithm snapshots are rejected with descriptive
 // SnapshotErrors and leave the target solver untouched (it still finishes
 // bitwise-identically to a never-restored run).
 #include "io/snapshot.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -93,12 +101,10 @@ SolverSpec conformance_spec(const std::string& id) {
 
 data::Partition partition_for(const SolverSpec& spec,
                               const data::Dataset& d, int ranks) {
-  const AlgorithmInfo* info =
-      SolverRegistry::instance().find(spec.algorithm);
-  const std::size_t extent = info->axis == PartitionAxis::kRows
-                                 ? d.num_points()
-                                 : d.num_features();
-  return data::Partition::block(extent, ranks);
+  // The chunk-grid-aligned partition solve_on_ranks builds: every
+  // reduction chunk is single-owner, which is what makes the chunked
+  // round sums — and the resumes below — rank-count invariant.
+  return partition_for_ranks(d, spec, ranks);
 }
 
 std::unique_ptr<Solver> fresh_solver(dist::Communicator& comm,
@@ -316,41 +322,115 @@ TEST(SnapshotResume, FourRankFileRoundTripMatchesRankZero) {
 }
 
 // ---------------------------------------------------------------------
-// Rank-count independence of the format
+// Rank-count invariance: the fixed reduction grouping makes every
+// cross-rank sum accumulate in the same global chunk order on every rank
+// count, so entire trajectories — not just snapshots — are bitwise
+// identical across P.  CommStats are the one excluded quantity: message
+// and word counts legitimately scale with log P.
 // ---------------------------------------------------------------------
 
-TEST(SnapshotResume, FourRankSnapshotRestoresIntoASerialSolver) {
-  // The image gathers partitioned state to full length, so a snapshot
-  // taken on 4 ranks restores on 1 (and vice versa).  The continued
-  // trajectories are NOT bitwise identical across rank counts (partial
-  // sums associate differently), so this asserts functionality and
-  // closeness, not bits.
-  const SolverSpec spec = conformance_spec("sa-lasso");
-  const data::Dataset& d = dataset_for(spec);
+/// Bitwise comparison of everything that must be rank-count invariant:
+/// solution, duals, stop reason, and the trace's iterations + objectives.
+void expect_equivalent_ignoring_stats(const SolveResult& a,
+                                      const SolveResult& b,
+                                      const std::string& what) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << what;
+  EXPECT_EQ(a.stop_reason, b.stop_reason) << what;
+  expect_bits_equal(a.x, b.x, what + ": x");
+  expect_bits_equal(a.alpha, b.alpha, what + ": alpha");
+  ASSERT_EQ(a.trace.points.size(), b.trace.points.size()) << what;
+  for (std::size_t i = 0; i < a.trace.points.size(); ++i) {
+    EXPECT_EQ(a.trace.points[i].iteration, b.trace.points[i].iteration)
+        << what << " point " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.trace.points[i].objective),
+              std::bit_cast<std::uint64_t>(b.trace.points[i].objective))
+        << what << " point " << i;
+  }
+  EXPECT_EQ(a.trace.iterations_run, b.trace.iterations_run) << what;
+}
 
-  std::vector<std::uint8_t> image;
+/// Shorter spec for the O(P·Q) sweeps: still several rounds and trace
+/// points on both sides of every interrupt.
+SolverSpec cross_rank_spec(const std::string& id) {
+  SolverSpec spec = conformance_spec(id);
+  spec.max_iterations = 120;
+  spec.trace_every = 30;
+  return spec;
+}
+
+/// Rank 0's result of an uninterrupted `ranks`-rank solve.
+SolveResult run_on_ranks(const SolverSpec& spec, const data::Dataset& d,
+                         int ranks) {
+  SolveResult out;
   std::mutex lock;
-  dist::run_distributed(4, [&](dist::Communicator& comm) {
-    const std::unique_ptr<Solver> solver = fresh_solver(comm, spec, d);
-    solver->step(100);
-    std::vector<std::uint8_t> bytes = solver->snapshot();
+  dist::run_distributed(ranks, [&](dist::Communicator& comm) {
+    SolveResult r = fresh_solver(comm, spec, d)->run();
     if (comm.rank() == 0) {
       std::scoped_lock guard(lock);
-      image = std::move(bytes);
+      out = std::move(r);
     }
   });
+  return out;
+}
 
-  dist::SerialComm ref_comm;
-  const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+TEST(SnapshotResume, TracesAreBitwiseIdenticalAcrossRankCounts) {
+  // Serial, 2-, 3-, 4-, and 8-rank uninterrupted solves produce the SAME
+  // bits for every algorithm: solution, duals, every traced objective.
+  // (3 exercises the non-power-of-two tree-allreduce path end to end.)
+  for (const std::string& id : registered_algorithms()) {
+    SCOPED_TRACE(id);
+    const SolverSpec spec = cross_rank_spec(id);
+    const data::Dataset& d = dataset_for(spec);
 
-  dist::SerialComm comm;
-  const std::unique_ptr<Solver> resumed = fresh_solver(comm, spec, d);
-  resumed->restore(image);
-  EXPECT_EQ(resumed->iterations_run(), 100u);
-  const SolveResult result = resumed->run();
-  EXPECT_EQ(result.trace.iterations_run, reference.trace.iterations_run);
-  EXPECT_NEAR(result.final_objective(), reference.final_objective(),
-              1e-9 * std::abs(reference.final_objective()) + 1e-12);
+    dist::SerialComm ref_comm;
+    const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+    for (int ranks : {2, 3, 4, 8}) {
+      expect_equivalent_ignoring_stats(
+          reference, run_on_ranks(spec, d, ranks),
+          id + " on " + std::to_string(ranks) + " ranks");
+    }
+  }
+}
+
+TEST(SnapshotResume, CrossRankCountResumeIsBitwiseForEveryAlgorithm) {
+  // Elastic resume: checkpoint at P ranks, resume at Q ranks, for every
+  // (P, Q) in {1,2,4,8}² — the continued run lands on the uninterrupted
+  // serial reference bitwise (solution, duals, stop reason, trace).
+  const std::string path =
+      ::testing::TempDir() + "sa_snapshot_cross_rank.snap";
+  for (const std::string& id : registered_algorithms()) {
+    SCOPED_TRACE(id);
+    const SolverSpec spec = cross_rank_spec(id);
+    const data::Dataset& d = dataset_for(spec);
+
+    dist::SerialComm ref_comm;
+    const SolveResult reference = fresh_solver(ref_comm, spec, d)->run();
+
+    for (int p : {1, 2, 4, 8}) {
+      dist::run_distributed(p, [&](dist::Communicator& comm) {
+        const std::unique_ptr<Solver> solver = fresh_solver(comm, spec, d);
+        solver->step(spec.max_iterations / 3);
+        solver->snapshot_to_file(path);  // collective; rank 0 writes
+      });
+      for (int q : {1, 2, 4, 8}) {
+        const std::string tag = id + " P=" + std::to_string(p) +
+                                " -> Q=" + std::to_string(q);
+        std::vector<SolveResult> resumed(q);
+        std::mutex lock;
+        dist::run_distributed(q, [&](dist::Communicator& comm) {
+          const std::unique_ptr<Solver> solver =
+              fresh_solver(comm, spec, d);
+          solver->restore_from_file(path);
+          SolveResult r = solver->run();
+          std::scoped_lock guard(lock);
+          resumed[comm.rank()] = std::move(r);
+        });
+        for (int r = 0; r < q; ++r)
+          expect_equivalent_ignoring_stats(
+              reference, resumed[r], tag + " rank " + std::to_string(r));
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -413,6 +493,69 @@ TEST_F(SnapshotNegative, WrongVersionIsRejected) {
   std::vector<std::uint8_t> wrong = image_;
   wrong[8] += 1;  // u32 version field lives at offset 8
   expect_rejected(wrong, "version");
+}
+
+// FNV-1a over the checksummed region (bytes 24..end), written back into
+// the u64 checksum field at offset 16 — lets a test doctor section
+// payloads and still present a checksum-valid image, so the rejection it
+// asserts comes from the SEMANTIC validation, not the integrity check.
+void restamp_checksum(std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 24; i < bytes.size(); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  std::memcpy(bytes.data() + 16, &h, sizeof(h));
+}
+
+TEST_F(SnapshotNegative, PreGroupingVersionIsRejectedDescriptively) {
+  // A format-2 snapshot predates the fixed reduction grouping: its sums
+  // were accumulated per-rank, so it cannot be continued bitwise.  The
+  // error says so instead of a generic unsupported-version line.  (The
+  // version gate runs before the checksum, so no restamp is needed.)
+  std::vector<std::uint8_t> old = image_;
+  old[8] = 2;
+  expect_rejected(old, "predates the fixed reduction grouping");
+}
+
+TEST_F(SnapshotNegative, DoctoredGroupingVersionIsRejected) {
+  // Flip the core/grouping section's version word (the first u64 of its
+  // payload) and restamp the checksum: the reader must reject on the
+  // grouping version specifically, naming both versions.
+  std::vector<std::uint8_t> doctored = image_;
+  const std::string name = "core/grouping";
+  const auto it = std::search(doctored.begin(), doctored.end(),
+                              name.begin(), name.end());
+  ASSERT_NE(it, doctored.end()) << "snapshot lacks the grouping section";
+  // Section layout: name zero-padded to 8 bytes, then the u64 count,
+  // then the payload ([version, chunk, extent]).
+  const std::size_t payload =
+      static_cast<std::size_t>(it - doctored.begin()) +
+      ((name.size() + 7) & ~std::size_t{7}) + 8;
+  const std::uint64_t foreign = 999;
+  std::memcpy(doctored.data() + payload, &foreign, sizeof(foreign));
+  restamp_checksum(doctored);
+  expect_rejected(doctored, "grouping version");
+}
+
+TEST_F(SnapshotNegative, GroupingChunkMismatchIsRejected) {
+  // Same algorithm and spec fingerprint, but the target solver runs a
+  // different reduction-chunk grid: its folds would associate differently,
+  // so the restore is refused, naming the chunk sizes.
+  SolverSpec other = spec_;
+  other.reduction_chunk = 8;  // the snapshot's auto grid uses chunk 1
+  dist::SerialComm comm;
+  const std::unique_ptr<Solver> solver =
+      fresh_solver(comm, other, dataset_for(other));
+  try {
+    solver->restore(image_);
+    FAIL() << "expected SnapshotError";
+  } catch (const io::SnapshotError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("reduction grouping chunk size"), std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(solver->iterations_run(), 0u);
 }
 
 TEST_F(SnapshotNegative, BadMagicIsRejected) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/grouping.hpp"
 #include "core/cd_lasso.hpp"
 #include "core/sa_lasso.hpp"
 #include "core/sa_svm.hpp"
@@ -65,6 +66,9 @@ BcdParams params_for(const data::Dataset& d, std::size_t mu, std::size_t s,
   p.rows = d.num_points();
   p.cols = d.num_features();
   p.processors = ranks;
+  // The wire carries one Gram/dot partial per global reduction chunk.
+  p.reduction_chunks =
+      common::ReduceGrouping::make(d.num_points()).num_chunks();
   return p;
 }
 
@@ -159,6 +163,8 @@ TEST(ModelVsMetered, SvmLatencyCountsMatchExactly) {
     p.rows = d.num_points();
     p.cols = d.num_features();
     p.processors = ranks;
+    p.reduction_chunks =
+        common::ReduceGrouping::make(d.num_features()).num_chunks();
     const Costs model = s == 0 ? svm_costs(p) : sa_svm_costs(p);
     // +1 collective: the final primal-vector assembly (log2(4) = 2 rounds).
     EXPECT_DOUBLE_EQ(model.latency + 2.0,
